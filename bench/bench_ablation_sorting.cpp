@@ -1,0 +1,97 @@
+// Experiment E3: ablation of the advanced sorting (paper Sec. III-B).
+//
+// For the water fermionic segments, compares the CNOT model count under:
+//   none      : natural string order, first-support targets
+//   baseline  : per-term shared target + exact intra order + doubly greedy
+//   gtsp-ga   : the paper's joint GTSP (order + per-string targets)
+// plus wall-time per mode (google-benchmark).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "chem/integrals.hpp"
+#include "chem/mo_integrals.hpp"
+#include "chem/molecules.hpp"
+#include "chem/scf.hpp"
+#include "core/compiler.hpp"
+#include "vqe/uccsd.hpp"
+
+namespace {
+
+using namespace femto;
+
+struct Fixture {
+  std::size_t n = 0;
+  std::vector<fermion::ExcitationTerm> terms;
+};
+
+const Fixture& water_terms(std::size_t ne) {
+  static Fixture fixtures[32];
+  Fixture& f = fixtures[ne];
+  if (f.n == 0) {
+    const auto mol = chem::make_h2o();
+    auto basis = chem::build_sto3g(mol);
+    chem::normalize_basis(basis);
+    const auto ints = chem::compute_integrals(mol, basis);
+    const auto scf = chem::run_rhf(mol, ints);
+    const auto mo = chem::transform_to_mo(mol, ints, scf);
+    const auto so = chem::to_spin_orbitals(mo);
+    const auto all = vqe::uccsd_hmp2_terms(so);
+    f.n = so.n;
+    f.terms.assign(all.begin(),
+                   all.begin() + static_cast<std::ptrdiff_t>(ne));
+  }
+  return f;
+}
+
+int count_with_sorting(const Fixture& f, core::SortingMode mode) {
+  core::CompileOptions opt;
+  opt.emit_circuit = false;
+  opt.transform = core::TransformKind::kJordanWigner;  // isolate sorting
+  opt.compression = core::CompressionMode::kNone;      // all-fermionic
+  opt.sorting = mode;
+  return core::compile_vqe(f.n, f.terms, opt).model_cnots;
+}
+
+void BM_SortNone(benchmark::State& state) {
+  const Fixture& f = water_terms(static_cast<std::size_t>(state.range(0)));
+  int count = 0;
+  for (auto _ : state) count = count_with_sorting(f, core::SortingMode::kNone);
+  state.counters["cnots"] = count;
+}
+void BM_SortBaseline(benchmark::State& state) {
+  const Fixture& f = water_terms(static_cast<std::size_t>(state.range(0)));
+  int count = 0;
+  for (auto _ : state)
+    count = count_with_sorting(f, core::SortingMode::kBaseline);
+  state.counters["cnots"] = count;
+}
+void BM_SortGtspGa(benchmark::State& state) {
+  const Fixture& f = water_terms(static_cast<std::size_t>(state.range(0)));
+  int count = 0;
+  for (auto _ : state)
+    count = count_with_sorting(f, core::SortingMode::kAdvanced);
+  state.counters["cnots"] = count;
+}
+
+BENCHMARK(BM_SortNone)->Arg(4)->Arg(8)->Arg(12)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SortBaseline)->Arg(4)->Arg(8)->Arg(12)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SortGtspGa)->Arg(4)->Arg(8)->Arg(12)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  // Summary table (the ablation result itself).
+  std::printf("\n# E3 sorting ablation (water, JW, no compression)\n");
+  std::printf("%4s %8s %10s %9s\n", "Ne", "none", "baseline", "gtsp-ga");
+  for (std::size_t ne : {4, 8, 12, 17}) {
+    const Fixture& f = water_terms(ne);
+    std::printf("%4zu %8d %10d %9d\n", ne,
+                count_with_sorting(f, core::SortingMode::kNone),
+                count_with_sorting(f, core::SortingMode::kBaseline),
+                count_with_sorting(f, core::SortingMode::kAdvanced));
+  }
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Experiment E2: Fig. 5 of the paper.
+//
+// Ground-state energy estimate of the water molecule (STO-3G) versus the
+// number of HMP2-ordered UCCSD ansatz terms, for two term orderings:
+//   prior art  : baseline pipeline ([9]) term order,
+//   this work  : advanced pipeline (hybrid-encoding plan) term order.
+// The paper's claim: both series coincide (no accuracy loss from the
+// reordering), and chemical accuracy (1.6 mHa vs FCI) is reached at 17
+// terms for both.
+//
+// Energies are evaluated exactly (statevector + L-BFGS on analytic adjoint
+// gradients), which corresponds to the infinite-shot limit of the paper's
+// measurement scheme.
+#include <cstdio>
+#include <vector>
+
+#include "chem/fci.hpp"
+#include "chem/integrals.hpp"
+#include "chem/mo_integrals.hpp"
+#include "chem/molecules.hpp"
+#include "chem/scf.hpp"
+#include "core/compiler.hpp"
+#include "transform/linear_encoding.hpp"
+#include "vqe/driver.hpp"
+#include "vqe/hmp2.hpp"
+#include "vqe/uccsd.hpp"
+
+int main() {
+  using namespace femto;
+  const auto mol = chem::make_h2o();
+  auto basis = chem::build_sto3g(mol);
+  chem::normalize_basis(basis);
+  const auto ints = chem::compute_integrals(mol, basis);
+  const auto scf = chem::run_rhf(mol, ints);
+  const auto mo = chem::transform_to_mo(mol, ints, scf);
+  const auto so = chem::to_spin_orbitals(mo);
+  const auto fci = chem::run_fci(so);
+
+  const auto enc = transform::LinearEncoding::jordan_wigner(so.n);
+  const pauli::PauliSum hq = enc.map(chem::build_hamiltonian(so));
+  const std::size_t hf_index = (std::size_t{1} << so.nelec) - 1;
+
+  std::printf("# Fig. 5 reproduction: H2O ground-state energy vs ansatz size\n");
+  std::printf("# RHF   = %.6f Ha\n", scf.total_energy);
+  std::printf("# FCI   = %.6f Ha  (chemical accuracy band: +-%.4f)\n",
+              fci.energy, 0.0016);
+  std::printf("%4s %18s %18s %12s %12s\n", "M", "prior-art(E/Ha)",
+              "this-work(E/Ha)", "dPrior(mHa)", "dThis(mHa)");
+
+  const std::size_t max_terms = 17;
+  // Adaptive HMP2 selection ([9]'s Box 2 loop) defines the term sequence.
+  vqe::OptimizerOptions sel_opt;
+  sel_opt.max_iterations = 120;
+  sel_opt.gradient_tolerance = 1e-5;
+  const std::vector<fermion::ExcitationTerm> terms =
+      vqe::hmp2_adaptive_terms(so, max_terms, 64, sel_opt);
+  core::CompileOptions base_opt;
+  base_opt.emit_circuit = false;
+  base_opt.transform = core::TransformKind::kJordanWigner;
+  base_opt.sorting = core::SortingMode::kBaseline;
+  base_opt.compression = core::CompressionMode::kBosonicOnly;
+  core::CompileOptions adv_opt;
+  adv_opt.emit_circuit = false;
+  adv_opt.sa_options.steps = 300;  // order only; counts not needed here
+
+  vqe::OptimizerOptions vopt;
+  vopt.max_iterations = 200;
+  vopt.gradient_tolerance = 3e-6;
+
+  std::vector<double> theta_prior, theta_this;
+  for (std::size_t m = 4; m <= terms.size(); ++m) {
+    const std::vector<fermion::ExcitationTerm> subset(
+        terms.begin(), terms.begin() + static_cast<std::ptrdiff_t>(m));
+    const auto res_base = core::compile_vqe(so.n, subset, base_opt);
+    const auto res_adv = core::compile_vqe(so.n, subset, adv_opt);
+
+    const auto optimize = [&](const std::vector<pauli::PauliSum>& gens,
+                              std::vector<double>& warm) {
+      vqe::VqeProblem prob;
+      prob.num_qubits = so.n;
+      prob.hamiltonian = hq;
+      prob.generators = gens;
+      prob.reference_index = hf_index;
+      warm.resize(gens.size(), 0.0);
+      const auto res = vqe::minimize_energy(prob, warm, vopt);
+      warm = res.theta;
+      return res.energy;
+    };
+    const double e_prior = optimize(res_base.ordered_generators, theta_prior);
+    const double e_this = optimize(res_adv.ordered_generators, theta_this);
+    std::printf("%4zu %18.6f %18.6f %12.3f %12.3f\n", m, e_prior, e_this,
+                1000.0 * (e_prior - fci.energy), 1000.0 * (e_this - fci.energy));
+    std::fflush(stdout);
+  }
+  std::printf(
+      "# chemical accuracy reached when |E - FCI| < 1.6 mHa in both series\n");
+  return 0;
+}

@@ -1,0 +1,123 @@
+// Experiment E6: solver micro-benchmarks.
+//
+//  - GTSP: GA vs greedy vs random on synthetic clustered instances
+//    (solution quality and wall time).
+//  - Simulated annealing schedule sweep on a rugged test function.
+//  - Linear-reversible synthesis: PMH vs plain Gaussian elimination CNOT
+//    counts (the PMH dedup should win as n grows; paper reference [26]).
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "gf2/linear_synthesis.hpp"
+#include "opt/gtsp.hpp"
+#include "opt/simulated_annealing.hpp"
+
+namespace {
+
+using namespace femto;
+
+opt::GtspInstance random_instance(std::size_t clusters, std::size_t k) {
+  opt::GtspInstance inst;
+  int next = 0;
+  for (std::size_t c = 0; c < clusters; ++c) {
+    std::vector<int> cluster;
+    for (std::size_t v = 0; v < k; ++v) cluster.push_back(next++);
+    inst.clusters.push_back(cluster);
+  }
+  inst.weight = [](int a, int b) {
+    const unsigned h = static_cast<unsigned>(a * 2654435761u) ^
+                       static_cast<unsigned>(b * 40503u);
+    return static_cast<double>(h % 997) / 100.0;
+  };
+  return inst;
+}
+
+void BM_GtspGa(benchmark::State& state) {
+  const auto inst = random_instance(static_cast<std::size_t>(state.range(0)), 4);
+  double value = 0;
+  for (auto _ : state) {
+    Rng rng(7);
+    value = opt::solve_gtsp_ga(inst, rng).value;
+  }
+  state.counters["value"] = value;
+}
+void BM_GtspGreedy(benchmark::State& state) {
+  const auto inst = random_instance(static_cast<std::size_t>(state.range(0)), 4);
+  double value = 0;
+  for (auto _ : state) {
+    Rng rng(7);
+    value = opt::solve_gtsp_greedy(inst, rng).value;
+  }
+  state.counters["value"] = value;
+}
+void BM_GtspRandom(benchmark::State& state) {
+  const auto inst = random_instance(static_cast<std::size_t>(state.range(0)), 4);
+  double value = 0;
+  for (auto _ : state) {
+    Rng rng(7);
+    value = opt::solve_gtsp_random(inst, rng, 50).value;
+  }
+  state.counters["value"] = value;
+}
+
+BENCHMARK(BM_GtspGa)->Arg(16)->Arg(48)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GtspGreedy)->Arg(16)->Arg(48)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GtspRandom)->Arg(16)->Arg(48)->Unit(benchmark::kMillisecond);
+
+void BM_PmhSynthesis(benchmark::State& state) {
+  Rng rng(11);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto m = gf2::Matrix::random_invertible(n, rng);
+  std::size_t gates = 0;
+  for (auto _ : state) gates = gf2::synthesize_pmh(m).size();
+  state.counters["cnots"] = static_cast<double>(gates);
+}
+BENCHMARK(BM_PmhSynthesis)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+
+  std::printf("\n# E6a GTSP solution quality (higher is better)\n");
+  std::printf("%9s %8s %8s %8s\n", "clusters", "ga", "greedy", "random");
+  for (std::size_t m : {12, 24, 48, 96}) {
+    const auto inst = random_instance(m, 4);
+    Rng r1(3), r2(3), r3(3);
+    std::printf("%9zu %8.1f %8.1f %8.1f\n", m,
+                opt::solve_gtsp_ga(inst, r1).value,
+                opt::solve_gtsp_greedy(inst, r2).value,
+                opt::solve_gtsp_random(inst, r3, 50).value);
+  }
+
+  std::printf("\n# E6b SA cooling-schedule sweep: f(x)=(x-17)^2/10+3 sin x\n");
+  std::printf("%8s %8s %12s\n", "steps", "t0", "best-f");
+  for (const auto [steps, t0] : {std::pair{200, 1.0}, {200, 5.0},
+                                 {2000, 1.0}, {2000, 5.0}, {8000, 5.0}}) {
+    Rng rng(5);
+    const auto energy = [](const int& x) {
+      return (x - 17) * (x - 17) / 10.0 + 3.0 * std::sin(double(x));
+    };
+    const auto propose = [](const int& x, Rng& r) { return x + r.range(-3, 3); };
+    opt::SaOptions sa;
+    sa.steps = steps;
+    sa.t_initial = t0;
+    sa.t_final = 0.01;
+    const auto res = opt::simulated_annealing<int>(100, energy, propose, rng, sa);
+    std::printf("%8d %8.1f %12.4f\n", steps, t0, res.best_energy);
+  }
+
+  std::printf("\n# E6c linear-reversible synthesis CNOT counts (PMH [26] vs Gauss)\n");
+  std::printf("%4s %8s %8s\n", "n", "pmh", "gauss");
+  for (std::size_t n : {8, 16, 32, 64, 128}) {
+    Rng rng(13);
+    const auto m = gf2::Matrix::random_invertible(n, rng);
+    std::printf("%4zu %8zu %8zu\n", n, gf2::synthesize_pmh(m).size(),
+                gf2::synthesize_gauss(m).size());
+  }
+  return 0;
+}

@@ -1,0 +1,165 @@
+// Experiment E1: Table I of the paper.
+//
+// CNOT counts for VQE circuits of HF, LiH, BeH2, NH3 (at the HMP2
+// chemical-accuracy term counts Ne = 3, 3, 9, 52) and the water HMP2
+// progression (Ne = 4..17), under four compilation modes:
+//   JW  : Jordan-Wigner + baseline pipeline of [9]
+//   BK  : Bravyi-Kitaev + baseline pipeline
+//   GT  : upper-triangular Gamma via binary PSO + level labeling + baseline
+//   Adv : this paper -- hybrid encoding (GVCP), block-diagonal Gamma via SA,
+//         joint GTSP sorting (genetic algorithm)
+// Improve(%) = (GT - Adv) / GT * 100, as in the paper.
+//
+// Paper reference values are printed alongside for shape comparison; exact
+// absolute counts depend on heuristic seeds and the re-implemented baseline
+// (see EXPERIMENTS.md).
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "chem/integrals.hpp"
+#include "chem/mo_integrals.hpp"
+#include "chem/molecules.hpp"
+#include "chem/scf.hpp"
+#include "core/compiler.hpp"
+#include "vqe/hmp2.hpp"
+#include "vqe/uccsd.hpp"
+
+namespace {
+
+using namespace femto;
+
+struct Row {
+  std::string label;
+  chem::Molecule mol;
+  std::size_t ne;                    // number of ansatz terms
+  int paper_jw, paper_bk, paper_gt, paper_adv;
+};
+
+struct Prepared {
+  std::size_t n = 0;
+  std::vector<fermion::ExcitationTerm> terms;
+};
+
+/// Static-MP2 HMP2 term sequences, cached per molecule. The static ranking
+/// reproduces the paper's Table I term choices closely (its water JW counts
+/// 42/44/46 match exactly: the 5th and 6th selected terms are 2-CNOT
+/// bosonic pairs, as in [9]); the *adaptive* HMP2 loop (used by bench_fig5)
+/// reproduces the convergence behaviour instead. See EXPERIMENTS.md.
+Prepared prepare(const chem::Molecule& mol, std::size_t ne) {
+  static std::map<std::string, std::pair<std::size_t,
+                                         std::vector<fermion::ExcitationTerm>>>
+      cache;
+  auto it = cache.find(mol.name);
+  if (it == cache.end()) {
+    auto basis = chem::build_sto3g(mol);
+    chem::normalize_basis(basis);
+    const auto ints = chem::compute_integrals(mol, basis);
+    const auto scf = chem::run_rhf(mol, ints);
+    FEMTO_ASSERT(scf.converged);
+    const auto mo = chem::transform_to_mo(mol, ints, scf);
+    const auto so = chem::to_spin_orbitals(mo);
+    it = cache.emplace(mol.name,
+                       std::make_pair(so.n, vqe::uccsd_hmp2_terms(so)))
+             .first;
+  }
+  Prepared p;
+  p.n = it->second.first;
+  const auto& all_terms = it->second.second;
+  if (ne > all_terms.size()) ne = all_terms.size();
+  p.terms.assign(all_terms.begin(),
+                 all_terms.begin() + static_cast<std::ptrdiff_t>(ne));
+  return p;
+}
+
+core::CompileOptions column_options(const std::string& column,
+                                    std::size_t num_terms) {
+  core::CompileOptions opt;
+  opt.emit_circuit = false;  // counting only; emission is covered by tests
+  // Scale solver budgets down for the big NH3 instance.
+  const bool large = num_terms > 20;
+  opt.sa_options.steps = large ? 500 : 1500;
+  opt.pso_options.iterations = large ? 12 : 60;
+  opt.pso_options.particles = large ? 10 : 20;
+  opt.gtsp_options.generations = large ? 80 : 250;
+  opt.gtsp_options.population = large ? 24 : 32;
+  opt.coloring_orders = 64;
+  if (column == "JW") {
+    opt.transform = core::TransformKind::kJordanWigner;
+    opt.sorting = core::SortingMode::kBaseline;
+    opt.compression = core::CompressionMode::kBosonicOnly;
+  } else if (column == "BK") {
+    opt.transform = core::TransformKind::kBravyiKitaev;
+    opt.sorting = core::SortingMode::kBaseline;
+    opt.compression = core::CompressionMode::kBosonicOnly;
+  } else if (column == "GT") {
+    opt.transform = core::TransformKind::kBaselineGT;
+    opt.sorting = core::SortingMode::kBaseline;
+    opt.compression = core::CompressionMode::kBosonicOnly;
+  } else {  // Adv
+    opt.transform = core::TransformKind::kAdvanced;
+    opt.sorting = core::SortingMode::kAdvanced;
+    opt.compression = core::CompressionMode::kHybrid;
+  }
+  return opt;
+}
+
+}  // namespace
+
+int main() {
+  std::vector<Row> rows = {
+      {"HF", chem::make_hf(), 3, 30, 29, 25, 19},
+      {"LiH", chem::make_lih(), 3, 30, 29, 25, 19},
+      {"BeH2", chem::make_beh2(), 9, 70, 71, 60, 53},
+      {"NH3", chem::make_nh3(), 52, 485, 607, 478, 461},
+  };
+  for (std::size_t ne : {4, 5, 6, 8, 9, 11, 12, 14, 16, 17})
+    rows.push_back({"H2O(" + std::to_string(ne) + ")", chem::make_h2o(), ne,
+                    0, 0, 0, 0});
+  // Paper's water progression reference values.
+  const int water_ref[10][4] = {
+      {42, 50, 33, 27},  {44, 52, 35, 29},   {46, 47, 37, 31},
+      {68, 88, 63, 50},  {71, 89, 66, 53},   {93, 110, 87, 67},
+      {95, 112, 89, 70}, {114, 140, 111, 88}, {135, 166, 131, 105},
+      {137, 168, 133, 107}};
+  for (std::size_t k = 0; k < 10; ++k) {
+    rows[4 + k].paper_jw = water_ref[k][0];
+    rows[4 + k].paper_bk = water_ref[k][1];
+    rows[4 + k].paper_gt = water_ref[k][2];
+    rows[4 + k].paper_adv = water_ref[k][3];
+  }
+
+  std::printf(
+      "# Table I reproduction: CNOT counts per transform (model counts, "
+      "paper accounting)\n");
+  std::printf(
+      "# paper values in parentheses; Improve(%%) = (GT-Adv)/GT*100\n");
+  std::printf(
+      "%-9s %4s | %12s %12s %12s %12s | %9s %9s\n", "Molecule", "Ne", "JW",
+      "BK", "GT", "Adv", "Impr(%)", "paper(%)");
+  for (const Row& row : rows) {
+    const Prepared p = prepare(row.mol, row.ne);
+    int counts[4] = {0, 0, 0, 0};
+    const char* columns[4] = {"JW", "BK", "GT", "Adv"};
+    for (int c = 0; c < 4; ++c) {
+      const auto res =
+          core::compile_vqe(p.n, p.terms, column_options(columns[c],
+                                                         p.terms.size()));
+      counts[c] = res.model_cnots;
+    }
+    const double improve =
+        counts[2] > 0 ? 100.0 * (counts[2] - counts[3]) / counts[2] : 0.0;
+    const double paper_improve =
+        row.paper_gt > 0
+            ? 100.0 * (row.paper_gt - row.paper_adv) / row.paper_gt
+            : 0.0;
+    std::printf(
+        "%-9s %4zu | %5d (%4d) %5d (%4d) %5d (%4d) %5d (%4d) | %9.2f %9.2f\n",
+        row.label.c_str(), p.terms.size(), counts[0], row.paper_jw, counts[1],
+        row.paper_bk, counts[2], row.paper_gt, counts[3], row.paper_adv,
+        improve, paper_improve);
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Real-time dynamics of a Fermi-Hubbard chain (the Sec. V extension).
+//
+// Compiles Trotterized time evolution with the advanced sorting, runs it on
+// the statevector simulator, and tracks a local observable (double
+// occupancy) against a near-exact reference -- showing both the CNOT saving
+// and the physical accuracy of the compiled circuits.
+#include <cstdio>
+#include <vector>
+
+#include "core/rotation_blocks.hpp"
+#include "core/sorting.hpp"
+#include "fermion/operators.hpp"
+#include "sim/statevector.hpp"
+#include "synth/pauli_exponential.hpp"
+#include "transform/linear_encoding.hpp"
+
+int main() {
+  using namespace femto;
+  const std::size_t sites = 3;
+  const std::size_t n = 2 * sites;
+  const double t_hop = 1.0, u_int = 4.0, dt = 0.05;
+  const int steps = 40;
+
+  // H = -t sum_<ij>,s (c+_is c_js + h.c.) + U sum_i n_iu n_id.
+  fermion::FermionOperator h;
+  for (std::size_t i = 0; i + 1 < sites; ++i)
+    for (int s = 0; s < 2; ++s) {
+      const std::size_t a = 2 * i + static_cast<std::size_t>(s);
+      const std::size_t b = 2 * (i + 1) + static_cast<std::size_t>(s);
+      h.add_term({-t_hop, 0.0}, {{a, true}, {b, false}});
+      h.add_term({-t_hop, 0.0}, {{b, true}, {a, false}});
+    }
+  for (std::size_t i = 0; i < sites; ++i)
+    h.add_term({u_int, 0.0}, {{2 * i, true}, {2 * i, false},
+                              {2 * i + 1, true}, {2 * i + 1, false}});
+
+  const auto enc = transform::LinearEncoding::jordan_wigner(n);
+  const pauli::PauliSum hq = enc.map(h);
+
+  // One Trotter step as rotation blocks, sorted by the GTSP engine.
+  std::vector<synth::RotationBlock> blocks;
+  for (const auto& term : hq.terms()) {
+    if (term.string.is_identity_letters()) continue;
+    synth::RotationBlock b;
+    b.string = term.string;
+    b.angle_coeff = 2.0 * term.coefficient.real() * dt;
+    b.target = b.string.support().lowest_set();
+    blocks.push_back(b);
+  }
+  Rng rng(5);
+  const auto ordered = core::sort_advanced(blocks, rng);
+  const auto step_naive =
+      synth::synthesize_sequence(n, blocks, synth::MergePolicy::kNone);
+  const auto step_sorted = synth::synthesize_sequence(n, ordered);
+  std::printf("Fermi-Hubbard %zu sites, t=%.1f U=%.1f dt=%.2f\n", sites,
+              t_hop, u_int, dt);
+  std::printf("CNOTs per Trotter step: naive %d, advanced sorting %d\n\n",
+              step_naive.cnot_count(), step_sorted.cnot_count());
+
+  // Observable: double occupancy on site 0.
+  pauli::PauliSum docc = enc.map(fermion::FermionOperator::term(
+      {1.0, 0.0}, {{0, true}, {0, false}, {1, true}, {1, false}}));
+
+  // Initial state: both electrons on site 0 (a doublon).
+  sim::StateVector psi = sim::StateVector::basis_state(n, 0b000011);
+  sim::StateVector ref = sim::StateVector::basis_state(n, 0b000011);
+  std::printf("%6s %16s %16s %12s\n", "time", "<n0u n0d> circ",
+              "<n0u n0d> exact", "|overlap|");
+  for (int k = 0; k <= steps; ++k) {
+    if (k % 5 == 0) {
+      std::printf("%6.2f %16.6f %16.6f %12.8f\n", k * dt,
+                  psi.expectation(docc).real(), ref.expectation(docc).real(),
+                  std::abs(psi.inner(ref)));
+    }
+    psi.apply_circuit(step_sorted);
+    // Reference: 100 fine substeps of the same generator set.
+    for (int s = 0; s < 100; ++s)
+      for (const auto& b : blocks)
+        ref.apply_pauli_exp(b.string, b.angle_coeff / 100);
+  }
+  return 0;
+}

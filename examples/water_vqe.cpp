@@ -1,0 +1,68 @@
+// The full Fig. 1 VQE cycle for the water molecule.
+//
+// Grows the HMP2-selected UCCSD ansatz one excitation term at a time,
+// optimizing all parameters at each size (exact statevector energies,
+// analytic adjoint gradients, L-BFGS), until the estimate is within
+// chemical accuracy (1.6 mHa) of FCI -- reproducing the workflow behind
+// Fig. 5 of the paper.
+#include <cstdio>
+
+#include "chem/fci.hpp"
+#include "chem/integrals.hpp"
+#include "chem/mo_integrals.hpp"
+#include "chem/molecules.hpp"
+#include "chem/scf.hpp"
+#include "core/compiler.hpp"
+#include "transform/linear_encoding.hpp"
+#include "vqe/driver.hpp"
+#include "vqe/hmp2.hpp"
+
+int main() {
+  using namespace femto;
+  const chem::Molecule mol = chem::make_h2o();
+  auto basis = chem::build_sto3g(mol);
+  chem::normalize_basis(basis);
+  const auto ints = chem::compute_integrals(mol, basis);
+  const auto scf = chem::run_rhf(mol, ints);
+  const auto mo = chem::transform_to_mo(mol, ints, scf);
+  const auto so = chem::to_spin_orbitals(mo);
+  const auto fci = chem::run_fci(so);
+  std::printf("H2O / STO-3G: E_RHF = %.6f Ha, E_FCI = %.6f Ha (%zu dets)\n",
+              scf.total_energy, fci.energy, fci.dimension);
+  std::printf("MP2 correlation: %.6f Ha\n", chem::mp2_energy(mo));
+
+  const auto enc = transform::LinearEncoding::jordan_wigner(so.n);
+  const pauli::PauliSum hq = enc.map(chem::build_hamiltonian(so));
+  const std::size_t hf_index = (std::size_t{1} << so.nelec) - 1;
+
+  // Adaptive HMP2 selection (Box 2 of Fig. 1), then the growth loop.
+  vqe::OptimizerOptions sel;
+  sel.max_iterations = 120;
+  sel.gradient_tolerance = 1e-5;
+  const auto terms = vqe::hmp2_adaptive_terms(so, 20, 64, sel);
+
+  std::printf("\n%4s  %-28s %14s %10s\n", "M", "added term", "E (Ha)",
+              "dE (mHa)");
+  vqe::VqeProblem prob;
+  prob.num_qubits = so.n;
+  prob.hamiltonian = hq;
+  prob.reference_index = hf_index;
+  std::vector<double> theta;
+  const double chemical_accuracy = 1.6e-3;
+  for (std::size_t m = 0; m < terms.size(); ++m) {
+    prob.generators.push_back(enc.map(terms[m].generator()));
+    theta.push_back(0.0);
+    const auto res = vqe::minimize_energy(prob, theta, sel);
+    theta = res.theta;
+    const double gap = res.energy - fci.energy;
+    std::printf("%4zu  %-28s %14.6f %10.3f%s\n", m + 1,
+                terms[m].to_string().c_str(), res.energy, 1000.0 * gap,
+                gap < chemical_accuracy ? "  <- chemical accuracy" : "");
+    if (gap < chemical_accuracy) {
+      std::printf("\nConverged with %zu ansatz terms "
+                  "(paper: 17 for both pipelines).\n", m + 1);
+      break;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,150 @@
+// STO-3G basis set (Hehre, Stewart, Pople 1969).
+//
+// STO-3G expands each Slater orbital with zeta = 1 in three Gaussians with
+// universal exponents/coefficients; element-specific orbitals are obtained
+// by scaling exponents with zeta^2. The zeta table below reproduces the
+// published EMSL STO-3G primitives to ~1e-5 (e.g. O 1s: 2.227660584 * 7.66^2
+// = 130.709...).
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace femto::chem {
+
+/// Cartesian 3-vector (Bohr).
+struct Vec3 {
+  double x = 0, y = 0, z = 0;
+  [[nodiscard]] friend Vec3 operator-(const Vec3& a, const Vec3& b) {
+    return {a.x - b.x, a.y - b.y, a.z - b.z};
+  }
+  [[nodiscard]] double norm2() const { return x * x + y * y + z * z; }
+};
+
+/// One contracted Cartesian Gaussian basis function centered at `center`
+/// with angular momentum (lx, ly, lz); primitives share exponents.
+struct BasisFunction {
+  Vec3 center;
+  int lx = 0, ly = 0, lz = 0;
+  std::vector<double> exponents;
+  std::vector<double> coefficients;  // includes primitive normalization
+};
+
+struct Atom {
+  int charge = 0;  // nuclear charge Z
+  Vec3 position;   // Bohr
+};
+
+struct Molecule {
+  std::string name;
+  std::vector<Atom> atoms;
+  int charge = 0;
+
+  [[nodiscard]] int num_electrons() const {
+    int n = -charge;
+    for (const Atom& a : atoms) n += a.charge;
+    return n;
+  }
+
+  [[nodiscard]] double nuclear_repulsion() const {
+    double e = 0;
+    for (std::size_t i = 0; i < atoms.size(); ++i)
+      for (std::size_t j = i + 1; j < atoms.size(); ++j)
+        e += atoms[i].charge * atoms[j].charge /
+             std::sqrt((atoms[i].position - atoms[j].position).norm2());
+    return e;
+  }
+};
+
+namespace sto3g {
+
+/// Universal 1s expansion (zeta = 1).
+inline constexpr std::array<double, 3> k1sExp = {2.227660584, 0.405771156,
+                                                 0.109818000};
+inline constexpr std::array<double, 3> k1sCoef = {0.154328967, 0.535328142,
+                                                  0.444634542};
+/// Universal 2s/2p shared-exponent expansion (zeta = 1).
+inline constexpr std::array<double, 3> k2spExp = {0.994203400, 0.231031350,
+                                                  0.075138600};
+inline constexpr std::array<double, 3> k2sCoef = {-0.099967229, 0.399512826,
+                                                  0.700115469};
+inline constexpr std::array<double, 3> k2pCoef = {0.155916275, 0.607683719,
+                                                  0.391957393};
+
+struct Zetas {
+  double zeta1 = 0;  // 1s
+  double zeta2 = 0;  // 2sp (0 when the element has no L shell here)
+};
+
+/// Standard STO-3G zeta values for the elements this reproduction needs.
+[[nodiscard]] inline Zetas zetas_for(int z) {
+  switch (z) {
+    case 1: return {1.24, 0.0};   // H
+    case 3: return {2.69, 0.80};  // Li
+    case 4: return {3.68, 1.15};  // Be
+    case 7: return {6.67, 1.95};  // N
+    case 8: return {7.66, 2.25};  // O
+    case 9: return {8.65, 2.55};  // F
+    default:
+      FEMTO_EXPECTS(false && "element not in the STO-3G table of this repo");
+      return {};
+  }
+}
+
+/// Primitive normalization for Cartesian Gaussian with exponent a and
+/// angular momentum (i,j,k): (2a/pi)^{3/4} (4a)^{(i+j+k)/2} /
+/// sqrt((2i-1)!!(2j-1)!!(2k-1)!!).
+[[nodiscard]] inline double primitive_norm(double a, int i, int j, int k) {
+  const auto dfact = [](int m) {  // (2m-1)!!
+    double f = 1;
+    for (int v = 2 * m - 1; v > 1; v -= 2) f *= v;
+    return f;
+  };
+  const int l = i + j + k;
+  return std::pow(2 * a / M_PI, 0.75) * std::pow(4 * a, l / 2.0) /
+         std::sqrt(dfact(i) * dfact(j) * dfact(k));
+}
+
+}  // namespace sto3g
+
+/// Builds the STO-3G basis for a molecule: one 1s function per H, and
+/// {1s, 2s, 2px, 2py, 2pz} per first-row heavy atom.
+[[nodiscard]] inline std::vector<BasisFunction> build_sto3g(
+    const Molecule& mol) {
+  using namespace sto3g;
+  std::vector<BasisFunction> basis;
+  const auto add_shell = [&](const Vec3& center, double zeta,
+                             const std::array<double, 3>& exps,
+                             const std::array<double, 3>& coefs, int lx,
+                             int ly, int lz) {
+    BasisFunction f;
+    f.center = center;
+    f.lx = lx;
+    f.ly = ly;
+    f.lz = lz;
+    for (int k = 0; k < 3; ++k) {
+      const double a = exps[static_cast<std::size_t>(k)] * zeta * zeta;
+      f.exponents.push_back(a);
+      f.coefficients.push_back(coefs[static_cast<std::size_t>(k)] *
+                               primitive_norm(a, lx, ly, lz));
+    }
+    basis.push_back(std::move(f));
+  };
+  for (const Atom& atom : mol.atoms) {
+    const Zetas z = zetas_for(atom.charge);
+    add_shell(atom.position, z.zeta1, k1sExp, k1sCoef, 0, 0, 0);
+    if (z.zeta2 > 0) {
+      add_shell(atom.position, z.zeta2, k2spExp, k2sCoef, 0, 0, 0);
+      add_shell(atom.position, z.zeta2, k2spExp, k2pCoef, 1, 0, 0);
+      add_shell(atom.position, z.zeta2, k2spExp, k2pCoef, 0, 1, 0);
+      add_shell(atom.position, z.zeta2, k2spExp, k2pCoef, 0, 0, 1);
+    }
+  }
+  return basis;
+}
+
+}  // namespace femto::chem

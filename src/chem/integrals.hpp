@@ -1,0 +1,377 @@
+// One- and two-electron Gaussian integrals via McMurchie-Davidson.
+//
+// Hermite expansion coefficients E_t^{ij} (per Cartesian dimension), Hermite
+// Coulomb integrals R_{tuv} with the Boys function, and the standard
+// assembly of overlap, kinetic, nuclear-attraction, and electron-repulsion
+// integrals over contracted Cartesian Gaussians (s and p functions for
+// STO-3G; the recurrences are general in angular momentum).
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "chem/basis.hpp"
+#include "chem/linalg.hpp"
+
+namespace femto::chem {
+
+/// Boys function F_m(T) for m = 0..m_max, stable for all T >= 0.
+[[nodiscard]] inline std::vector<double> boys(int m_max, double t) {
+  std::vector<double> f(static_cast<std::size_t>(m_max) + 1, 0.0);
+  if (t < 1e-14) {
+    for (int m = 0; m <= m_max; ++m)
+      f[static_cast<std::size_t>(m)] = 1.0 / (2 * m + 1);
+    return f;
+  }
+  if (t > 35.0) {
+    // F_0 = sqrt(pi/T)/2; upward recursion is stable at large T.
+    f[0] = 0.5 * std::sqrt(M_PI / t);
+    const double et = std::exp(-t);
+    for (int m = 0; m < m_max; ++m)
+      f[static_cast<std::size_t>(m) + 1] =
+          ((2 * m + 1) * f[static_cast<std::size_t>(m)] - et) / (2 * t);
+    return f;
+  }
+  // Series for the highest order, then downward recursion.
+  double term = 1.0 / (2 * m_max + 1);
+  double sum = term;
+  for (int k = 1; k < 250; ++k) {
+    term *= 2 * t / (2 * m_max + 2 * k + 1);
+    sum += term;
+    if (term < 1e-17 * sum) break;
+  }
+  const double et = std::exp(-t);
+  f[static_cast<std::size_t>(m_max)] = et * sum;
+  for (int m = m_max; m > 0; --m)
+    f[static_cast<std::size_t>(m) - 1] =
+        (2 * t * f[static_cast<std::size_t>(m)] + et) / (2 * m - 1);
+  return f;
+}
+
+namespace mcmd {
+
+/// 1D Hermite expansion table e(i, j, t) for exponents a, b and center
+/// separation qx = Ax - Bx.
+class HermiteE {
+ public:
+  HermiteE(int imax, int jmax, double qx, double a, double b)
+      : imax_(imax), jmax_(jmax), data_(static_cast<std::size_t>(
+            (imax + 1) * (jmax + 1) * (imax + jmax + 1))) {
+    const double p = a + b;
+    const double mu = a * b / p;
+    at(0, 0, 0) = std::exp(-mu * qx * qx);
+    for (int i = 0; i <= imax; ++i) {
+      for (int j = 0; j <= jmax; ++j) {
+        if (i == 0 && j == 0) continue;
+        for (int t = 0; t <= i + j; ++t) {
+          if (j == 0)
+            at(i, j, t) = get(i - 1, j, t - 1) / (2 * p) -
+                          (mu * qx / a) * get(i - 1, j, t) +
+                          (t + 1) * get(i - 1, j, t + 1);
+          else
+            at(i, j, t) = get(i, j - 1, t - 1) / (2 * p) +
+                          (mu * qx / b) * get(i, j - 1, t) +
+                          (t + 1) * get(i, j - 1, t + 1);
+        }
+      }
+    }
+  }
+
+  [[nodiscard]] double get(int i, int j, int t) const {
+    if (i < 0 || j < 0 || t < 0 || t > i + j) return 0.0;
+    return data_[index(i, j, t)];
+  }
+
+ private:
+  [[nodiscard]] std::size_t index(int i, int j, int t) const {
+    return (static_cast<std::size_t>(i) * (jmax_ + 1) +
+            static_cast<std::size_t>(j)) *
+               static_cast<std::size_t>(imax_ + jmax_ + 1) +
+           static_cast<std::size_t>(t);
+  }
+  [[nodiscard]] double& at(int i, int j, int t) { return data_[index(i, j, t)]; }
+
+  int imax_, jmax_;
+  std::vector<double> data_;
+};
+
+/// Hermite Coulomb table R_{tuv} = R^0_{tuv}(p, pc) for t <= tmax etc.
+class HermiteR {
+ public:
+  HermiteR(int tmax, int umax, int vmax, double p, const Vec3& pc)
+      : tmax_(tmax), umax_(umax), vmax_(vmax) {
+    const int n_max = tmax + umax + vmax;
+    const std::vector<double> f = boys(n_max, p * pc.norm2());
+    const std::size_t slab =
+        static_cast<std::size_t>((tmax + 1) * (umax + 1) * (vmax + 1));
+    std::vector<std::vector<double>> r(static_cast<std::size_t>(n_max) + 1,
+                                       std::vector<double>(slab, 0.0));
+    for (int n = 0; n <= n_max; ++n)
+      r[static_cast<std::size_t>(n)][index(0, 0, 0)] =
+          std::pow(-2.0 * p, n) * f[static_cast<std::size_t>(n)];
+    const auto get = [&](int n, int t, int u, int v) -> double {
+      if (t < 0 || u < 0 || v < 0) return 0.0;
+      return r[static_cast<std::size_t>(n)][index(t, u, v)];
+    };
+    for (int total = 1; total <= n_max; ++total) {
+      for (int t = 0; t <= std::min(total, tmax); ++t) {
+        for (int u = 0; t + u <= total && u <= umax; ++u) {
+          const int v = total - t - u;
+          if (v < 0 || v > vmax) continue;
+          for (int n = 0; n + total <= n_max; ++n) {
+            double val;
+            if (t > 0)
+              val = (t - 1) * get(n + 1, t - 2, u, v) +
+                    pc.x * get(n + 1, t - 1, u, v);
+            else if (u > 0)
+              val = (u - 1) * get(n + 1, t, u - 2, v) +
+                    pc.y * get(n + 1, t, u - 1, v);
+            else
+              val = (v - 1) * get(n + 1, t, u, v - 2) +
+                    pc.z * get(n + 1, t, u, v - 1);
+            r[static_cast<std::size_t>(n)][index(t, u, v)] = val;
+          }
+        }
+      }
+    }
+    data_ = std::move(r[0]);
+  }
+
+  [[nodiscard]] double get(int t, int u, int v) const {
+    return data_[index(t, u, v)];
+  }
+
+ private:
+  [[nodiscard]] std::size_t index(int t, int u, int v) const {
+    return (static_cast<std::size_t>(t) * (umax_ + 1) +
+            static_cast<std::size_t>(u)) *
+               static_cast<std::size_t>(vmax_ + 1) +
+           static_cast<std::size_t>(v);
+  }
+
+  int tmax_, umax_, vmax_;
+  std::vector<double> data_;
+};
+
+/// Primitive overlap (a,lA,A | b,lB,B) with unit prefactors.
+[[nodiscard]] inline double overlap_prim(double a, int la[3], const Vec3& ca,
+                                         double b, int lb[3], const Vec3& cb) {
+  const double p = a + b;
+  const Vec3 q = ca - cb;
+  const HermiteE ex(la[0], lb[0], q.x, a, b);
+  const HermiteE ey(la[1], lb[1], q.y, a, b);
+  const HermiteE ez(la[2], lb[2], q.z, a, b);
+  return ex.get(la[0], lb[0], 0) * ey.get(la[1], lb[1], 0) *
+         ez.get(la[2], lb[2], 0) * std::pow(M_PI / p, 1.5);
+}
+
+/// Primitive kinetic energy integral via the overlap-ladder formula.
+[[nodiscard]] inline double kinetic_prim(double a, int la[3], const Vec3& ca,
+                                         double b, int lb[3], const Vec3& cb) {
+  const auto s_shift = [&](int dim, int delta) {
+    int lb2[3] = {lb[0], lb[1], lb[2]};
+    lb2[dim] += delta;
+    if (lb2[dim] < 0) return 0.0;
+    return overlap_prim(a, la, ca, b, lb2, cb);
+  };
+  double total = 0.0;
+  for (int dim = 0; dim < 3; ++dim) {
+    const int j = lb[dim];
+    total += -0.5 * j * (j - 1) * s_shift(dim, -2) +
+             b * (2 * j + 1) * s_shift(dim, 0) -
+             2.0 * b * b * s_shift(dim, +2);
+  }
+  return total;
+}
+
+/// Primitive nuclear attraction -Z <a| 1/r_C |b> (the -Z factor is applied
+/// by the caller; this returns <a| 1/r_C |b>).
+[[nodiscard]] inline double nuclear_prim(double a, int la[3], const Vec3& ca,
+                                         double b, int lb[3], const Vec3& cb,
+                                         const Vec3& nucleus) {
+  const double p = a + b;
+  const Vec3 q = ca - cb;
+  const Vec3 pcenter{(a * ca.x + b * cb.x) / p, (a * ca.y + b * cb.y) / p,
+                     (a * ca.z + b * cb.z) / p};
+  const Vec3 pc = pcenter - nucleus;
+  const HermiteE ex(la[0], lb[0], q.x, a, b);
+  const HermiteE ey(la[1], lb[1], q.y, a, b);
+  const HermiteE ez(la[2], lb[2], q.z, a, b);
+  const HermiteR r(la[0] + lb[0], la[1] + lb[1], la[2] + lb[2], p, pc);
+  double sum = 0.0;
+  for (int t = 0; t <= la[0] + lb[0]; ++t)
+    for (int u = 0; u <= la[1] + lb[1]; ++u)
+      for (int v = 0; v <= la[2] + lb[2]; ++v)
+        sum += ex.get(la[0], lb[0], t) * ey.get(la[1], lb[1], u) *
+               ez.get(la[2], lb[2], v) * r.get(t, u, v);
+  return 2.0 * M_PI / p * sum;
+}
+
+/// Primitive ERI (ab|cd) in chemists' notation.
+[[nodiscard]] inline double eri_prim(double a, int la[3], const Vec3& ca,
+                                     double b, int lb[3], const Vec3& cb,
+                                     double c, int lc[3], const Vec3& cc,
+                                     double d, int ld[3], const Vec3& cd) {
+  const double p = a + b;
+  const double q = c + d;
+  const double alpha = p * q / (p + q);
+  const Vec3 pcenter{(a * ca.x + b * cb.x) / p, (a * ca.y + b * cb.y) / p,
+                     (a * ca.z + b * cb.z) / p};
+  const Vec3 qcenter{(c * cc.x + d * cd.x) / q, (c * cc.y + d * cd.y) / q,
+                     (c * cc.z + d * cd.z) / q};
+  const Vec3 qab = ca - cb;
+  const Vec3 qcd = cc - cd;
+  const HermiteE e1x(la[0], lb[0], qab.x, a, b);
+  const HermiteE e1y(la[1], lb[1], qab.y, a, b);
+  const HermiteE e1z(la[2], lb[2], qab.z, a, b);
+  const HermiteE e2x(lc[0], ld[0], qcd.x, c, d);
+  const HermiteE e2y(lc[1], ld[1], qcd.y, c, d);
+  const HermiteE e2z(lc[2], ld[2], qcd.z, c, d);
+  const HermiteR r(la[0] + lb[0] + lc[0] + ld[0], la[1] + lb[1] + lc[1] + ld[1],
+                   la[2] + lb[2] + lc[2] + ld[2], alpha, pcenter - qcenter);
+  double sum = 0.0;
+  for (int t = 0; t <= la[0] + lb[0]; ++t) {
+    for (int u = 0; u <= la[1] + lb[1]; ++u) {
+      for (int v = 0; v <= la[2] + lb[2]; ++v) {
+        const double e1 = e1x.get(la[0], lb[0], t) * e1y.get(la[1], lb[1], u) *
+                          e1z.get(la[2], lb[2], v);
+        if (e1 == 0.0) continue;
+        for (int tt = 0; tt <= lc[0] + ld[0]; ++tt) {
+          for (int uu = 0; uu <= lc[1] + ld[1]; ++uu) {
+            for (int vv = 0; vv <= lc[2] + ld[2]; ++vv) {
+              const double e2 = e2x.get(lc[0], ld[0], tt) *
+                                e2y.get(lc[1], ld[1], uu) *
+                                e2z.get(lc[2], ld[2], vv);
+              if (e2 == 0.0) continue;
+              const double sign = ((tt + uu + vv) % 2 == 0) ? 1.0 : -1.0;
+              sum += e1 * e2 * sign * r.get(t + tt, u + uu, v + vv);
+            }
+          }
+        }
+      }
+    }
+  }
+  return 2.0 * std::pow(M_PI, 2.5) / (p * q * std::sqrt(p + q)) * sum;
+}
+
+}  // namespace mcmd
+
+/// Contracted-integral tables over an AO basis.
+struct IntegralTables {
+  DMatrix overlap;
+  DMatrix kinetic;
+  DMatrix nuclear;            // attraction (includes the -Z factors)
+  std::vector<double> eri;    // chemists' (ij|kl), flat n^4
+  std::size_t n = 0;
+
+  [[nodiscard]] double eri_at(std::size_t i, std::size_t j, std::size_t k,
+                              std::size_t l) const {
+    return eri[((i * n + j) * n + k) * n + l];
+  }
+  [[nodiscard]] double& eri_at(std::size_t i, std::size_t j, std::size_t k,
+                               std::size_t l) {
+    return eri[((i * n + j) * n + k) * n + l];
+  }
+};
+
+/// Computes all contracted integrals for a molecule/basis pair.
+[[nodiscard]] inline IntegralTables compute_integrals(
+    const Molecule& mol, const std::vector<BasisFunction>& basis) {
+  const std::size_t n = basis.size();
+  IntegralTables tables;
+  tables.n = n;
+  tables.overlap = DMatrix(n, n);
+  tables.kinetic = DMatrix(n, n);
+  tables.nuclear = DMatrix(n, n);
+  tables.eri.assign(n * n * n * n, 0.0);
+
+  const auto lmom = [](const BasisFunction& f, int out[3]) {
+    out[0] = f.lx;
+    out[1] = f.ly;
+    out[2] = f.lz;
+  };
+
+  // One-electron integrals.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const BasisFunction& fi = basis[i];
+      const BasisFunction& fj = basis[j];
+      int li[3], lj[3];
+      lmom(fi, li);
+      lmom(fj, lj);
+      double s = 0, t = 0, v = 0;
+      for (std::size_t pi = 0; pi < fi.exponents.size(); ++pi) {
+        for (std::size_t pj = 0; pj < fj.exponents.size(); ++pj) {
+          const double cc = fi.coefficients[pi] * fj.coefficients[pj];
+          const double a = fi.exponents[pi];
+          const double b = fj.exponents[pj];
+          s += cc * mcmd::overlap_prim(a, li, fi.center, b, lj, fj.center);
+          t += cc * mcmd::kinetic_prim(a, li, fi.center, b, lj, fj.center);
+          for (const Atom& atom : mol.atoms)
+            v -= atom.charge * cc *
+                 mcmd::nuclear_prim(a, li, fi.center, b, lj, fj.center,
+                                    atom.position);
+        }
+      }
+      tables.overlap(i, j) = tables.overlap(j, i) = s;
+      tables.kinetic(i, j) = tables.kinetic(j, i) = t;
+      tables.nuclear(i, j) = tables.nuclear(j, i) = v;
+    }
+  }
+
+  // Two-electron integrals with 8-fold permutational symmetry.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      for (std::size_t k = 0; k <= i; ++k) {
+        for (std::size_t l = 0; l <= (k == i ? j : k); ++l) {
+          const BasisFunction& fi = basis[i];
+          const BasisFunction& fj = basis[j];
+          const BasisFunction& fk = basis[k];
+          const BasisFunction& fl = basis[l];
+          int li[3], lj[3], lk[3], ll[3];
+          lmom(fi, li);
+          lmom(fj, lj);
+          lmom(fk, lk);
+          lmom(fl, ll);
+          double value = 0;
+          for (std::size_t pi = 0; pi < fi.exponents.size(); ++pi)
+            for (std::size_t pj = 0; pj < fj.exponents.size(); ++pj)
+              for (std::size_t pk = 0; pk < fk.exponents.size(); ++pk)
+                for (std::size_t pl = 0; pl < fl.exponents.size(); ++pl)
+                  value += fi.coefficients[pi] * fj.coefficients[pj] *
+                           fk.coefficients[pk] * fl.coefficients[pl] *
+                           mcmd::eri_prim(fi.exponents[pi], li, fi.center,
+                                          fj.exponents[pj], lj, fj.center,
+                                          fk.exponents[pk], lk, fk.center,
+                                          fl.exponents[pl], ll, fl.center);
+          // Scatter to all 8 permutations.
+          const std::size_t idx[8][4] = {
+              {i, j, k, l}, {j, i, k, l}, {i, j, l, k}, {j, i, l, k},
+              {k, l, i, j}, {l, k, i, j}, {k, l, j, i}, {l, k, j, i}};
+          for (const auto& p : idx)
+            tables.eri_at(p[0], p[1], p[2], p[3]) = value;
+        }
+      }
+    }
+  }
+  return tables;
+}
+
+/// Renormalizes contracted functions so that <f|f> = 1 (EMSL coefficients
+/// are close to normalized; this removes the residual).
+inline void normalize_basis(std::vector<BasisFunction>& basis) {
+  for (BasisFunction& f : basis) {
+    int l[3] = {f.lx, f.ly, f.lz};
+    double s = 0;
+    for (std::size_t p = 0; p < f.exponents.size(); ++p)
+      for (std::size_t q = 0; q < f.exponents.size(); ++q)
+        s += f.coefficients[p] * f.coefficients[q] *
+             mcmd::overlap_prim(f.exponents[p], l, f.center, f.exponents[q], l,
+                                f.center);
+    FEMTO_EXPECTS(s > 0);
+    const double scale = 1.0 / std::sqrt(s);
+    for (double& c : f.coefficients) c *= scale;
+  }
+}
+
+}  // namespace femto::chem

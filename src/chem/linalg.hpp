@@ -1,0 +1,155 @@
+// Small dense real linear algebra for the SCF solver: symmetric Jacobi
+// eigendecomposition, matrix products, and S^{-1/2} orthogonalization.
+// Problem sizes are tiny (STO-3G molecules here have <= 8 AOs), so clarity
+// beats asymptotics.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace femto::chem {
+
+/// Row-major dense real matrix.
+class DMatrix {
+ public:
+  DMatrix() = default;
+  DMatrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  [[nodiscard]] static DMatrix identity(std::size_t n) {
+    DMatrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+    return m;
+  }
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  [[nodiscard]] double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] DMatrix transpose() const {
+    DMatrix out(cols_, rows_);
+    for (std::size_t r = 0; r < rows_; ++r)
+      for (std::size_t c = 0; c < cols_; ++c) out(c, r) = (*this)(r, c);
+    return out;
+  }
+
+  [[nodiscard]] friend DMatrix operator*(const DMatrix& a, const DMatrix& b) {
+    FEMTO_EXPECTS(a.cols_ == b.rows_);
+    DMatrix out(a.rows_, b.cols_);
+    for (std::size_t i = 0; i < a.rows_; ++i)
+      for (std::size_t k = 0; k < a.cols_; ++k) {
+        const double aik = a(i, k);
+        if (aik == 0.0) continue;
+        for (std::size_t j = 0; j < b.cols_; ++j) out(i, j) += aik * b(k, j);
+      }
+    return out;
+  }
+
+  [[nodiscard]] friend DMatrix operator+(DMatrix a, const DMatrix& b) {
+    FEMTO_EXPECTS(a.rows_ == b.rows_ && a.cols_ == b.cols_);
+    for (std::size_t i = 0; i < a.data_.size(); ++i) a.data_[i] += b.data_[i];
+    return a;
+  }
+
+  [[nodiscard]] friend DMatrix operator-(DMatrix a, const DMatrix& b) {
+    FEMTO_EXPECTS(a.rows_ == b.rows_ && a.cols_ == b.cols_);
+    for (std::size_t i = 0; i < a.data_.size(); ++i) a.data_[i] -= b.data_[i];
+    return a;
+  }
+
+  [[nodiscard]] friend DMatrix operator*(double s, DMatrix a) {
+    for (double& v : a.data_) v *= s;
+    return a;
+  }
+
+  [[nodiscard]] double max_abs() const {
+    double m = 0;
+    for (double v : data_) m = std::max(m, std::abs(v));
+    return m;
+  }
+
+ private:
+  std::size_t rows_ = 0, cols_ = 0;
+  std::vector<double> data_;
+};
+
+struct EigenResult {
+  std::vector<double> values;  // ascending
+  DMatrix vectors;             // column k = eigenvector of values[k]
+};
+
+/// Cyclic Jacobi eigensolver for symmetric matrices.
+[[nodiscard]] inline EigenResult jacobi_eigensymmetric(DMatrix a,
+                                                       int max_sweeps = 100) {
+  FEMTO_EXPECTS(a.rows() == a.cols());
+  const std::size_t n = a.rows();
+  DMatrix v = DMatrix::identity(n);
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0;
+    for (std::size_t p = 0; p < n; ++p)
+      for (std::size_t q = p + 1; q < n; ++q) off += a(p, q) * a(p, q);
+    if (off < 1e-22) break;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        if (std::abs(a(p, q)) < 1e-14) continue;
+        const double theta = (a(q, q) - a(p, p)) / (2 * a(p, q));
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1));
+        const double c = 1 / std::sqrt(t * t + 1);
+        const double s = t * c;
+        // Rotate rows/cols p,q of A and accumulate in V.
+        for (std::size_t k = 0; k < n; ++k) {
+          const double akp = a(k, p), akq = a(k, q);
+          a(k, p) = c * akp - s * akq;
+          a(k, q) = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double apk = a(p, k), aqk = a(q, k);
+          a(p, k) = c * apk - s * aqk;
+          a(q, k) = s * apk + c * aqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p), vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+  // Sort ascending by eigenvalue.
+  EigenResult res;
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t x, std::size_t y) { return a(x, x) < a(y, y); });
+  res.values.resize(n);
+  res.vectors = DMatrix(n, n);
+  for (std::size_t k = 0; k < n; ++k) {
+    res.values[k] = a(order[k], order[k]);
+    for (std::size_t r = 0; r < n; ++r) res.vectors(r, k) = v(r, order[k]);
+  }
+  return res;
+}
+
+/// S^{-1/2} via eigendecomposition (symmetric orthogonalization).
+[[nodiscard]] inline DMatrix inverse_sqrt_symmetric(const DMatrix& s) {
+  const EigenResult eig = jacobi_eigensymmetric(s);
+  const std::size_t n = s.rows();
+  DMatrix d(n, n);
+  for (std::size_t k = 0; k < n; ++k) {
+    FEMTO_EXPECTS(eig.values[k] > 1e-10);  // basis must not be linearly dep.
+    d(k, k) = 1.0 / std::sqrt(eig.values[k]);
+  }
+  return eig.vectors * d * eig.vectors.transpose();
+}
+
+}  // namespace femto::chem

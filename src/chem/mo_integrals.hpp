@@ -1,0 +1,193 @@
+// AO -> MO integral transformation, spin-orbital integrals, MP2, and the
+// second-quantized molecular Hamiltonian.
+//
+// Spin-orbital convention (shared with fermion/excitation.hpp): interleaved
+// spins, spin orbital 2P = spatial P alpha, 2P+1 = spatial P beta.
+#pragma once
+
+#include <vector>
+
+#include "chem/integrals.hpp"
+#include "chem/scf.hpp"
+#include "fermion/operators.hpp"
+
+namespace femto::chem {
+
+/// MO-basis integrals: h_pq (core) and chemists' (pq|rs), all spatial.
+struct MoIntegrals {
+  std::size_t n = 0;            // spatial orbitals
+  std::size_t nocc = 0;         // doubly occupied
+  DMatrix h;                    // n x n core Hamiltonian in MO basis
+  std::vector<double> eri;      // (pq|rs) flat n^4
+  std::vector<double> orbital_energies;
+  double nuclear_repulsion = 0;
+
+  [[nodiscard]] double eri_at(std::size_t p, std::size_t q, std::size_t r,
+                              std::size_t s) const {
+    return eri[((p * n + q) * n + r) * n + s];
+  }
+  [[nodiscard]] double& eri_at(std::size_t p, std::size_t q, std::size_t r,
+                               std::size_t s) {
+    return eri[((p * n + q) * n + r) * n + s];
+  }
+};
+
+/// Staged O(n^5) AO->MO transformation.
+[[nodiscard]] inline MoIntegrals transform_to_mo(const Molecule& mol,
+                                                 const IntegralTables& ints,
+                                                 const ScfResult& scf) {
+  const std::size_t n = ints.n;
+  MoIntegrals mo;
+  mo.n = n;
+  mo.nocc = scf.num_occupied;
+  mo.orbital_energies = scf.orbital_energies;
+  mo.nuclear_repulsion = mol.nuclear_repulsion();
+  const DMatrix& c = scf.coefficients;
+
+  const DMatrix hcore = ints.kinetic + ints.nuclear;
+  mo.h = c.transpose() * hcore * c;
+
+  // (pq|rs) = sum C_mu p C_nu q C_la r C_si s (mu nu | la si), one index at
+  // a time.
+  std::vector<double> t1(n * n * n * n, 0.0), t2(n * n * n * n, 0.0);
+  const auto at = [n](std::vector<double>& v, std::size_t a, std::size_t b,
+                      std::size_t cc, std::size_t d) -> double& {
+    return v[((a * n + b) * n + cc) * n + d];
+  };
+  // index 1
+  for (std::size_t p = 0; p < n; ++p)
+    for (std::size_t nu = 0; nu < n; ++nu)
+      for (std::size_t la = 0; la < n; ++la)
+        for (std::size_t si = 0; si < n; ++si) {
+          double acc = 0;
+          for (std::size_t mu = 0; mu < n; ++mu)
+            acc += c(mu, p) * ints.eri_at(mu, nu, la, si);
+          at(t1, p, nu, la, si) = acc;
+        }
+  // index 2
+  for (std::size_t p = 0; p < n; ++p)
+    for (std::size_t q = 0; q < n; ++q)
+      for (std::size_t la = 0; la < n; ++la)
+        for (std::size_t si = 0; si < n; ++si) {
+          double acc = 0;
+          for (std::size_t nu = 0; nu < n; ++nu)
+            acc += c(nu, q) * at(t1, p, nu, la, si);
+          at(t2, p, q, la, si) = acc;
+        }
+  // index 3
+  std::fill(t1.begin(), t1.end(), 0.0);
+  for (std::size_t p = 0; p < n; ++p)
+    for (std::size_t q = 0; q < n; ++q)
+      for (std::size_t r = 0; r < n; ++r)
+        for (std::size_t si = 0; si < n; ++si) {
+          double acc = 0;
+          for (std::size_t la = 0; la < n; ++la)
+            acc += c(la, r) * at(t2, p, q, la, si);
+          at(t1, p, q, r, si) = acc;
+        }
+  // index 4
+  mo.eri.assign(n * n * n * n, 0.0);
+  for (std::size_t p = 0; p < n; ++p)
+    for (std::size_t q = 0; q < n; ++q)
+      for (std::size_t r = 0; r < n; ++r)
+        for (std::size_t s = 0; s < n; ++s) {
+          double acc = 0;
+          for (std::size_t si = 0; si < n; ++si)
+            acc += c(si, s) * at(t1, p, q, r, si);
+          mo.eri_at(p, q, r, s) = acc;
+        }
+  return mo;
+}
+
+/// MP2 correlation energy (closed shell, spatial-orbital formula).
+[[nodiscard]] inline double mp2_energy(const MoIntegrals& mo) {
+  double e = 0;
+  for (std::size_t i = 0; i < mo.nocc; ++i)
+    for (std::size_t j = 0; j < mo.nocc; ++j)
+      for (std::size_t a = mo.nocc; a < mo.n; ++a)
+        for (std::size_t b = mo.nocc; b < mo.n; ++b) {
+          const double iajb = mo.eri_at(i, a, j, b);
+          const double ibja = mo.eri_at(i, b, j, a);
+          const double denom = mo.orbital_energies[i] + mo.orbital_energies[j] -
+                               mo.orbital_energies[a] - mo.orbital_energies[b];
+          e += iajb * (2.0 * iajb - ibja) / denom;
+        }
+  return e;
+}
+
+/// Spin-orbital view: h_pq and antisymmetrized <pq||rs> with interleaved
+/// spins. Index s = 2*spatial + (0 alpha | 1 beta).
+struct SpinOrbitalIntegrals {
+  std::size_t n = 0;     // spin orbitals = 2 * spatial
+  std::size_t nelec = 0;
+  std::vector<double> h;      // n^2
+  std::vector<double> anti;   // <pq||rs>, physicists', antisymmetrized, n^4
+  double nuclear_repulsion = 0;
+  std::vector<double> orbital_energies;  // per spin orbital
+
+  [[nodiscard]] double h_at(std::size_t p, std::size_t q) const {
+    return h[p * n + q];
+  }
+  [[nodiscard]] double anti_at(std::size_t p, std::size_t q, std::size_t r,
+                               std::size_t s) const {
+    return anti[((p * n + q) * n + r) * n + s];
+  }
+};
+
+[[nodiscard]] inline SpinOrbitalIntegrals to_spin_orbitals(
+    const MoIntegrals& mo) {
+  SpinOrbitalIntegrals so;
+  so.n = 2 * mo.n;
+  so.nelec = 2 * mo.nocc;
+  so.nuclear_repulsion = mo.nuclear_repulsion;
+  so.h.assign(so.n * so.n, 0.0);
+  so.anti.assign(so.n * so.n * so.n * so.n, 0.0);
+  so.orbital_energies.resize(so.n);
+  const auto spatial = [](std::size_t x) { return x / 2; };
+  const auto spin = [](std::size_t x) { return x % 2; };
+  for (std::size_t p = 0; p < so.n; ++p) {
+    so.orbital_energies[p] = mo.orbital_energies[spatial(p)];
+    for (std::size_t q = 0; q < so.n; ++q)
+      if (spin(p) == spin(q))
+        so.h[p * so.n + q] = mo.h(spatial(p), spatial(q));
+  }
+  // <pq|rs> = (pr|qs) delta(sp,sr) delta(sq,ss);  <pq||rs> = <pq|rs>-<pq|sr>
+  for (std::size_t p = 0; p < so.n; ++p)
+    for (std::size_t q = 0; q < so.n; ++q)
+      for (std::size_t r = 0; r < so.n; ++r)
+        for (std::size_t s = 0; s < so.n; ++s) {
+          double direct = 0, exchange = 0;
+          if (spin(p) == spin(r) && spin(q) == spin(s))
+            direct = mo.eri_at(spatial(p), spatial(r), spatial(q), spatial(s));
+          if (spin(p) == spin(s) && spin(q) == spin(r))
+            exchange = mo.eri_at(spatial(p), spatial(s), spatial(q), spatial(r));
+          so.anti[((p * so.n + q) * so.n + r) * so.n + s] = direct - exchange;
+        }
+  return so;
+}
+
+/// Second-quantized Hamiltonian:
+/// H = E_nuc + sum h_pq a+_p a_q + 1/4 sum <pq||rs> a+_p a+_q a_s a_r.
+[[nodiscard]] inline fermion::FermionOperator build_hamiltonian(
+    const SpinOrbitalIntegrals& so, double coeff_cutoff = 1e-12) {
+  fermion::FermionOperator h =
+      fermion::FermionOperator::identity({so.nuclear_repulsion, 0.0});
+  for (std::size_t p = 0; p < so.n; ++p)
+    for (std::size_t q = 0; q < so.n; ++q) {
+      const double v = so.h_at(p, q);
+      if (std::abs(v) > coeff_cutoff)
+        h.add_term({v, 0.0}, {{p, true}, {q, false}});
+    }
+  for (std::size_t p = 0; p < so.n; ++p)
+    for (std::size_t q = 0; q < so.n; ++q)
+      for (std::size_t r = 0; r < so.n; ++r)
+        for (std::size_t s = 0; s < so.n; ++s) {
+          const double v = 0.25 * so.anti_at(p, q, r, s);
+          if (std::abs(v) > coeff_cutoff)
+            h.add_term({v, 0.0},
+                       {{p, true}, {q, true}, {s, false}, {r, false}});
+        }
+  return h;
+}
+
+}  // namespace femto::chem

@@ -1,0 +1,173 @@
+// Restricted Hartree-Fock with DIIS acceleration.
+//
+// Standard Roothaan SCF: symmetric orthogonalization X = S^{-1/2}, core
+// guess, closed-shell Fock builds from the full in-memory ERI tensor, and
+// Pulay DIIS on the FDS-SDF error. Molecule sizes here (<= 8 AOs) keep
+// everything dense and simple.
+#pragma once
+
+#include <deque>
+
+#include "chem/integrals.hpp"
+#include "chem/linalg.hpp"
+
+namespace femto::chem {
+
+struct ScfResult {
+  bool converged = false;
+  int iterations = 0;
+  double electronic_energy = 0.0;
+  double total_energy = 0.0;       // electronic + nuclear repulsion
+  std::vector<double> orbital_energies;
+  DMatrix coefficients;            // AO x MO
+  DMatrix density;                 // D = C_occ C_occ^T (no factor 2)
+  std::size_t num_orbitals = 0;
+  std::size_t num_occupied = 0;    // doubly occupied spatial orbitals
+};
+
+struct ScfOptions {
+  int max_iterations = 200;
+  double energy_tolerance = 1e-10;
+  double density_tolerance = 1e-8;
+  int diis_depth = 8;
+};
+
+[[nodiscard]] inline ScfResult run_rhf(const Molecule& mol,
+                                       const IntegralTables& ints,
+                                       const ScfOptions& options = {}) {
+  const std::size_t n = ints.n;
+  FEMTO_EXPECTS(mol.num_electrons() % 2 == 0 && "RHF needs a closed shell");
+  const std::size_t nocc = static_cast<std::size_t>(mol.num_electrons()) / 2;
+  FEMTO_EXPECTS(nocc <= n);
+
+  const DMatrix hcore = ints.kinetic + ints.nuclear;
+  const DMatrix x = inverse_sqrt_symmetric(ints.overlap);
+
+  const auto build_fock = [&](const DMatrix& d) {
+    DMatrix f = hcore;
+    for (std::size_t mu = 0; mu < n; ++mu)
+      for (std::size_t nu = 0; nu < n; ++nu) {
+        double g = 0;
+        for (std::size_t la = 0; la < n; ++la)
+          for (std::size_t si = 0; si < n; ++si)
+            g += d(la, si) * (2.0 * ints.eri_at(mu, nu, si, la) -
+                              ints.eri_at(mu, la, si, nu));
+        f(mu, nu) += g;
+      }
+    return f;
+  };
+
+  const auto density_from_fock = [&](const DMatrix& f, DMatrix& c_out,
+                                     std::vector<double>& eps_out) {
+    const DMatrix fprime = x.transpose() * f * x;
+    const EigenResult eig = jacobi_eigensymmetric(fprime);
+    c_out = x * eig.vectors;
+    eps_out = eig.values;
+    DMatrix d(n, n);
+    for (std::size_t mu = 0; mu < n; ++mu)
+      for (std::size_t nu = 0; nu < n; ++nu) {
+        double v = 0;
+        for (std::size_t o = 0; o < nocc; ++o) v += c_out(mu, o) * c_out(nu, o);
+        d(mu, nu) = v;
+      }
+    return d;
+  };
+
+  ScfResult result;
+  result.num_orbitals = n;
+  result.num_occupied = nocc;
+  DMatrix c;
+  std::vector<double> eps;
+  DMatrix d = density_from_fock(hcore, c, eps);
+
+  std::deque<DMatrix> diis_focks, diis_errors;
+  double prev_energy = 0;
+  for (int it = 0; it < options.max_iterations; ++it) {
+    DMatrix f = build_fock(d);
+    // DIIS: error = FDS - SDF in the orthonormal basis.
+    const DMatrix fds = f * d * ints.overlap;
+    const DMatrix err = x.transpose() * (fds - fds.transpose()) * x;
+    diis_focks.push_back(f);
+    diis_errors.push_back(err);
+    if (diis_focks.size() > static_cast<std::size_t>(options.diis_depth)) {
+      diis_focks.pop_front();
+      diis_errors.pop_front();
+    }
+    if (diis_errors.size() >= 2) {
+      // Solve the DIIS linear system by explicit Gaussian elimination.
+      const std::size_t m = diis_errors.size();
+      DMatrix b(m + 1, m + 1);
+      std::vector<double> rhs(m + 1, 0.0);
+      for (std::size_t a = 0; a < m; ++a) {
+        for (std::size_t bb = 0; bb < m; ++bb) {
+          double dot = 0;
+          for (std::size_t r = 0; r < n; ++r)
+            for (std::size_t cc = 0; cc < n; ++cc)
+              dot += diis_errors[a](r, cc) * diis_errors[bb](r, cc);
+          b(a, bb) = dot;
+        }
+        b(a, m) = b(m, a) = -1.0;
+      }
+      rhs[m] = -1.0;
+      // Gaussian elimination with partial pivoting.
+      std::vector<std::vector<double>> aug(
+          m + 1, std::vector<double>(m + 2, 0.0));
+      for (std::size_t r = 0; r <= m; ++r) {
+        for (std::size_t cc = 0; cc <= m; ++cc) aug[r][cc] = b(r, cc);
+        aug[r][m + 1] = rhs[r];
+      }
+      bool singular = false;
+      for (std::size_t col = 0; col <= m; ++col) {
+        std::size_t piv = col;
+        for (std::size_t r = col + 1; r <= m; ++r)
+          if (std::abs(aug[r][col]) > std::abs(aug[piv][col])) piv = r;
+        if (std::abs(aug[piv][col]) < 1e-14) {
+          singular = true;
+          break;
+        }
+        std::swap(aug[col], aug[piv]);
+        for (std::size_t r = 0; r <= m; ++r) {
+          if (r == col) continue;
+          const double factor = aug[r][col] / aug[col][col];
+          for (std::size_t cc = col; cc <= m + 1; ++cc)
+            aug[r][cc] -= factor * aug[col][cc];
+        }
+      }
+      if (!singular) {
+        DMatrix fmix(n, n);
+        for (std::size_t a = 0; a < m; ++a) {
+          const double w = aug[a][m + 1] / aug[a][a];
+          fmix = fmix + w * diis_focks[a];
+        }
+        f = fmix;
+      }
+    }
+
+    const DMatrix d_new = density_from_fock(f, c, eps);
+    // E_elec = sum_{mu nu} D (Hcore + F) with this D convention.
+    double energy = 0;
+    const DMatrix hf = hcore + build_fock(d_new);
+    for (std::size_t mu = 0; mu < n; ++mu)
+      for (std::size_t nu = 0; nu < n; ++nu)
+        energy += d_new(mu, nu) * hf(mu, nu);
+
+    const double d_change = (d_new - d).max_abs();
+    d = d_new;
+    result.iterations = it + 1;
+    if (std::abs(energy - prev_energy) < options.energy_tolerance &&
+        d_change < options.density_tolerance) {
+      result.converged = true;
+      result.electronic_energy = energy;
+      break;
+    }
+    prev_energy = energy;
+    result.electronic_energy = energy;
+  }
+  result.total_energy = result.electronic_energy + mol.nuclear_repulsion();
+  result.coefficients = c;
+  result.density = d;
+  result.orbital_energies = eps;
+  return result;
+}
+
+}  // namespace femto::chem

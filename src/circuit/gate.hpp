@@ -1,0 +1,171 @@
+// Gate-level IR.
+//
+// The gate set is CNOT + single-qubit gates (the de-facto set the paper
+// optimizes for), plus two structured two-qubit primitives that are exactly
+// one-CNOT-equivalent and arise from interface merging (Sec. III-B):
+//   kCz     -- controlled-Z (locally equivalent to CNOT),
+//   kXXrot  -- exp(-i angle/2 X@X), which at Clifford angles +-pi/2 is the
+//              Moelmer-Sorensen gate, again locally equivalent to CNOT.
+// Entangling cost: kCnot/kCz/kXXrot(+-pi/2) count as 1 CNOT; kXXrot at
+// non-Clifford angles counts as 2 (its generic decomposition).
+#pragma once
+
+#include <cmath>
+#include <string>
+
+#include "common/assert.hpp"
+
+namespace femto::circuit {
+
+enum class GateKind {
+  kX,
+  kY,
+  kZ,
+  kH,
+  kS,
+  kSdg,
+  kRz,
+  kRx,
+  kRy,
+  kCnot,
+  kCz,
+  kSwap,
+  kXXrot,
+  // exp(-i angle/2 (X@X + Y@Y)): the Givens/matchgate class. Two CNOTs by
+  // the Vatan-Williams bound; realizes the paper's 2-CNOT bosonic block.
+  kXYrot,
+};
+
+[[nodiscard]] constexpr bool is_two_qubit(GateKind k) {
+  return k == GateKind::kCnot || k == GateKind::kCz || k == GateKind::kSwap ||
+         k == GateKind::kXXrot || k == GateKind::kXYrot;
+}
+
+[[nodiscard]] constexpr bool is_rotation(GateKind k) {
+  return k == GateKind::kRz || k == GateKind::kRx || k == GateKind::kRy ||
+         k == GateKind::kXXrot || k == GateKind::kXYrot;
+}
+
+/// Diagonal in the computational basis (commutes with CNOT controls).
+[[nodiscard]] constexpr bool is_diagonal(GateKind k) {
+  return k == GateKind::kZ || k == GateKind::kS || k == GateKind::kSdg ||
+         k == GateKind::kRz || k == GateKind::kCz;
+}
+
+[[nodiscard]] inline const char* gate_name(GateKind k) {
+  switch (k) {
+    case GateKind::kX: return "X";
+    case GateKind::kY: return "Y";
+    case GateKind::kZ: return "Z";
+    case GateKind::kH: return "H";
+    case GateKind::kS: return "S";
+    case GateKind::kSdg: return "Sdg";
+    case GateKind::kRz: return "Rz";
+    case GateKind::kRx: return "Rx";
+    case GateKind::kRy: return "Ry";
+    case GateKind::kCnot: return "CNOT";
+    case GateKind::kCz: return "CZ";
+    case GateKind::kSwap: return "SWAP";
+    case GateKind::kXXrot: return "XX";
+    case GateKind::kXYrot: return "XY";
+  }
+  return "?";
+}
+
+/// One gate. Rotation angles are either literal (param < 0, angle holds the
+/// value) or variational (param >= 0, effective angle = angle * theta[param]);
+/// the latter keeps ansatz circuits symbolic in the VQE parameters.
+struct Gate {
+  GateKind kind = GateKind::kX;
+  std::size_t q0 = 0;           // target (1q), control (CNOT), first (CZ/SWAP/XX)
+  std::size_t q1 = 0;           // CNOT target / second qubit
+  double angle = 0.0;
+  int param = -1;
+
+  [[nodiscard]] static Gate x(std::size_t q) { return {GateKind::kX, q, 0, 0, -1}; }
+  [[nodiscard]] static Gate y(std::size_t q) { return {GateKind::kY, q, 0, 0, -1}; }
+  [[nodiscard]] static Gate z(std::size_t q) { return {GateKind::kZ, q, 0, 0, -1}; }
+  [[nodiscard]] static Gate h(std::size_t q) { return {GateKind::kH, q, 0, 0, -1}; }
+  [[nodiscard]] static Gate s(std::size_t q) { return {GateKind::kS, q, 0, 0, -1}; }
+  [[nodiscard]] static Gate sdg(std::size_t q) { return {GateKind::kSdg, q, 0, 0, -1}; }
+  [[nodiscard]] static Gate rz(std::size_t q, double a, int param = -1) {
+    return {GateKind::kRz, q, 0, a, param};
+  }
+  [[nodiscard]] static Gate rx(std::size_t q, double a, int param = -1) {
+    return {GateKind::kRx, q, 0, a, param};
+  }
+  [[nodiscard]] static Gate ry(std::size_t q, double a, int param = -1) {
+    return {GateKind::kRy, q, 0, a, param};
+  }
+  [[nodiscard]] static Gate cnot(std::size_t c, std::size_t t) {
+    FEMTO_EXPECTS(c != t);
+    return {GateKind::kCnot, c, t, 0, -1};
+  }
+  [[nodiscard]] static Gate cz(std::size_t a, std::size_t b) {
+    FEMTO_EXPECTS(a != b);
+    return {GateKind::kCz, a, b, 0, -1};
+  }
+  [[nodiscard]] static Gate swap(std::size_t a, std::size_t b) {
+    FEMTO_EXPECTS(a != b);
+    return {GateKind::kSwap, a, b, 0, -1};
+  }
+  [[nodiscard]] static Gate xxrot(std::size_t a, std::size_t b, double angle) {
+    FEMTO_EXPECTS(a != b);
+    return {GateKind::kXXrot, a, b, angle, -1};
+  }
+  [[nodiscard]] static Gate xyrot(std::size_t a, std::size_t b, double angle,
+                                  int param = -1) {
+    FEMTO_EXPECTS(a != b);
+    return {GateKind::kXYrot, a, b, angle, param};
+  }
+
+  [[nodiscard]] bool two_qubit() const { return is_two_qubit(kind); }
+
+  [[nodiscard]] bool acts_on(std::size_t q) const {
+    return q0 == q || (two_qubit() && q1 == q);
+  }
+
+  [[nodiscard]] bool overlaps(const Gate& other) const {
+    if (acts_on(other.q0)) return true;
+    return other.two_qubit() && acts_on(other.q1);
+  }
+
+  /// Entangling cost in CNOT-equivalents.
+  [[nodiscard]] int cnot_cost() const {
+    switch (kind) {
+      case GateKind::kCnot:
+      case GateKind::kCz: return 1;
+      case GateKind::kSwap: return 3;
+      case GateKind::kXXrot: {
+        if (param >= 0) return 2;  // variational angle: generic cost
+        const double a = std::fmod(std::abs(angle), 2.0 * M_PI);
+        const bool clifford = std::abs(a - M_PI / 2) < 1e-9 ||
+                              std::abs(a - 3 * M_PI / 2) < 1e-9;
+        const bool trivial = a < 1e-9 || std::abs(a - 2 * M_PI) < 1e-9;
+        const bool local = std::abs(a - M_PI) < 1e-9;  // XX(pi) = -iX@X
+        if (trivial || local) return 0;
+        return clifford ? 1 : 2;
+      }
+      case GateKind::kXYrot:
+        return (param < 0 && std::abs(angle) < 1e-12) ? 0 : 2;
+      default: return 0;
+    }
+  }
+
+  [[nodiscard]] std::string to_string() const {
+    std::string out = gate_name(kind);
+    out += " q" + std::to_string(q0);
+    if (two_qubit()) out += ",q" + std::to_string(q1);
+    if (is_rotation(kind)) {
+      if (param >= 0)
+        out += " (" + std::to_string(angle) + "*t" + std::to_string(param) + ")";
+      else
+        out += " (" + std::to_string(angle) + ")";
+    }
+    return out;
+  }
+
+  [[nodiscard]] bool operator==(const Gate&) const = default;
+};
+
+}  // namespace femto::circuit

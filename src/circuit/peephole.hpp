@@ -1,0 +1,153 @@
+// Peephole circuit optimizer.
+//
+// Implements the adjacent-gate cancellation and commutation rules of
+// Nam et al. (paper reference [3]) that back the CNOT-cancellation counting
+// in Secs. III-A/III-B: inverse-pair cancellation, rotation merging, and a
+// backward commuting walk so cancellations happen "through" gates that
+// commute with the incoming one.
+//
+// All rewrites preserve the unitary exactly, except dropping literal
+// rotations with negligible angle (global phase only).
+#pragma once
+
+#include <cmath>
+
+#include "circuit/quantum_circuit.hpp"
+
+namespace femto::circuit {
+
+namespace detail {
+
+[[nodiscard]] inline bool same_pair_unordered(const Gate& a, const Gate& b) {
+  return (a.q0 == b.q0 && a.q1 == b.q1) || (a.q0 == b.q1 && a.q1 == b.q0);
+}
+
+/// True when a and b are exact inverses of each other (self-inverse pairs or
+/// S/Sdg).
+[[nodiscard]] inline bool cancels(const Gate& a, const Gate& b) {
+  if (a.kind == GateKind::kS && b.kind == GateKind::kSdg && a.q0 == b.q0)
+    return true;
+  if (a.kind == GateKind::kSdg && b.kind == GateKind::kS && a.q0 == b.q0)
+    return true;
+  if (a.kind != b.kind) return false;
+  switch (a.kind) {
+    case GateKind::kX:
+    case GateKind::kY:
+    case GateKind::kZ:
+    case GateKind::kH: return a.q0 == b.q0;
+    case GateKind::kCnot: return a.q0 == b.q0 && a.q1 == b.q1;
+    case GateKind::kCz:
+    case GateKind::kSwap: return same_pair_unordered(a, b);
+    default: return false;
+  }
+}
+
+/// True when a and b are same-axis rotations on the same wire(s) that can be
+/// merged into one (literal+literal, or same variational parameter).
+[[nodiscard]] inline bool mergeable(const Gate& a, const Gate& b) {
+  if (a.kind != b.kind || !is_rotation(a.kind)) return false;
+  if (a.kind == GateKind::kXXrot) {
+    if (!same_pair_unordered(a, b)) return false;
+  } else if (a.q0 != b.q0) {
+    return false;
+  }
+  return a.param == b.param;  // covers literal (-1) + same-parameter cases
+}
+
+/// Conservative commutation check: may g be moved left past h?
+[[nodiscard]] inline bool commutes(const Gate& h, const Gate& g) {
+  if (!h.overlaps(g)) return true;
+  // Diagonal gates commute with each other and with CNOT controls.
+  const bool h_diag = is_diagonal(h.kind);
+  const bool g_diag = is_diagonal(g.kind);
+  if (h_diag && g_diag) {
+    // Shared wires are all Z-type on both sides.
+    if (h.kind != GateKind::kCnot && g.kind != GateKind::kCnot) return true;
+  }
+  // Classify each shared wire: 'z' if the gate acts diagonally there,
+  // 'x' if it acts as X-type (X, Rx, CNOT target, XXrot wire), else 'n'.
+  auto wire_type = [](const Gate& gate, std::size_t q) -> char {
+    switch (gate.kind) {
+      case GateKind::kZ:
+      case GateKind::kS:
+      case GateKind::kSdg:
+      case GateKind::kRz:
+      case GateKind::kCz: return 'z';
+      case GateKind::kX:
+      case GateKind::kRx:
+      case GateKind::kXXrot: return 'x';
+      case GateKind::kCnot: return q == gate.q0 ? 'z' : 'x';
+      default: return 'n';
+    }
+  };
+  // g commutes past h if on every shared wire both act with the same Pauli
+  // type (both Z-like or both X-like).
+  const std::size_t shared[2] = {g.q0, g.two_qubit() ? g.q1 : g.q0};
+  for (std::size_t q : {shared[0], shared[1]}) {
+    if (!h.acts_on(q) || !g.acts_on(q)) continue;
+    const char th = wire_type(h, q);
+    const char tg = wire_type(g, q);
+    if (th == 'n' || tg == 'n' || th != tg) return false;
+  }
+  return true;
+}
+
+}  // namespace detail
+
+/// Appends gates with on-the-fly cancellation through commuting prefixes.
+class PeepholeBuilder {
+ public:
+  explicit PeepholeBuilder(std::size_t n) : circ_(n) {}
+
+  void push(Gate g) {
+    // Drop no-op literal rotations (global phase at worst).
+    if (is_rotation(g.kind) && g.param < 0 && std::abs(g.angle) < 1e-12) return;
+    auto& gates = mutable_gates();
+    for (std::size_t k = gates.size(); k-- > 0;) {
+      Gate& h = gates[k];
+      if (detail::cancels(h, g)) {
+        gates.erase(gates.begin() + static_cast<std::ptrdiff_t>(k));
+        return;
+      }
+      if (detail::mergeable(h, g)) {
+        h.angle += g.angle;
+        if (h.param < 0 && std::abs(h.angle) < 1e-12)
+          gates.erase(gates.begin() + static_cast<std::ptrdiff_t>(k));
+        return;
+      }
+      if (!detail::commutes(h, g)) break;
+    }
+    circ_.append(g);
+  }
+
+  void push(const QuantumCircuit& c) {
+    for (const Gate& g : c.gates()) push(g);
+  }
+
+  [[nodiscard]] QuantumCircuit take() { return std::move(circ_); }
+  [[nodiscard]] const QuantumCircuit& circuit() const { return circ_; }
+
+ private:
+  [[nodiscard]] std::vector<Gate>& mutable_gates() {
+    return circ_.mutable_gates();
+  }
+
+  QuantumCircuit circ_;
+};
+
+/// Runs the builder over an existing circuit until a fixpoint (bounded).
+[[nodiscard]] inline QuantumCircuit peephole_optimize(const QuantumCircuit& in,
+                                                      int max_rounds = 8) {
+  QuantumCircuit current = in;
+  for (int round = 0; round < max_rounds; ++round) {
+    PeepholeBuilder builder(current.num_qubits());
+    builder.push(current);
+    QuantumCircuit next = builder.take();
+    const bool converged = next.size() == current.size();
+    current = std::move(next);
+    if (converged) break;
+  }
+  return current;
+}
+
+}  // namespace femto::circuit

@@ -1,0 +1,161 @@
+// Quantum circuit container with gate statistics, inversion, and dumps.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "circuit/gate.hpp"
+
+namespace femto::circuit {
+
+class QuantumCircuit {
+ public:
+  QuantumCircuit() = default;
+  explicit QuantumCircuit(std::size_t n) : n_(n) {}
+
+  [[nodiscard]] std::size_t num_qubits() const { return n_; }
+  [[nodiscard]] const std::vector<Gate>& gates() const { return gates_; }
+  /// Mutable access for rewrite passes (peephole); invariants (qubit bounds)
+  /// are the caller's responsibility.
+  [[nodiscard]] std::vector<Gate>& mutable_gates() { return gates_; }
+  [[nodiscard]] std::size_t size() const { return gates_.size(); }
+  [[nodiscard]] bool empty() const { return gates_.empty(); }
+
+  void append(Gate g) {
+    FEMTO_EXPECTS(g.q0 < n_ && (!g.two_qubit() || g.q1 < n_));
+    gates_.push_back(g);
+  }
+
+  void append(const QuantumCircuit& other) {
+    FEMTO_EXPECTS(other.n_ <= n_);
+    for (const Gate& g : other.gates_) append(g);
+  }
+
+  /// Total entangling cost in CNOT-equivalents (the paper's figure of merit).
+  [[nodiscard]] int cnot_count() const {
+    int count = 0;
+    for (const Gate& g : gates_) count += g.cnot_cost();
+    return count;
+  }
+
+  [[nodiscard]] std::size_t single_qubit_count() const {
+    std::size_t count = 0;
+    for (const Gate& g : gates_)
+      if (!g.two_qubit()) ++count;
+    return count;
+  }
+
+  /// Number of distinct variational parameters referenced.
+  [[nodiscard]] int num_params() const {
+    int max_param = -1;
+    for (const Gate& g : gates_) max_param = std::max(max_param, g.param);
+    return max_param + 1;
+  }
+
+  /// Circuit depth (greedy ASAP layering).
+  [[nodiscard]] std::size_t depth() const {
+    std::vector<std::size_t> level(n_, 0);
+    std::size_t depth = 0;
+    for (const Gate& g : gates_) {
+      std::size_t l = level[g.q0];
+      if (g.two_qubit()) l = std::max(l, level[g.q1]);
+      ++l;
+      level[g.q0] = l;
+      if (g.two_qubit()) level[g.q1] = l;
+      depth = std::max(depth, l);
+    }
+    return depth;
+  }
+
+  /// Adjoint circuit: gates reversed, each inverted.
+  [[nodiscard]] QuantumCircuit inverse() const {
+    QuantumCircuit inv(n_);
+    for (auto it = gates_.rbegin(); it != gates_.rend(); ++it) {
+      Gate g = *it;
+      switch (g.kind) {
+        case GateKind::kS: g.kind = GateKind::kSdg; break;
+        case GateKind::kSdg: g.kind = GateKind::kS; break;
+        case GateKind::kRz:
+        case GateKind::kRx:
+        case GateKind::kRy:
+        case GateKind::kXXrot:
+        case GateKind::kXYrot: g.angle = -g.angle; break;
+        default: break;  // X, Y, Z, H, CNOT, CZ, SWAP are self-inverse
+      }
+      inv.append(g);
+    }
+    return inv;
+  }
+
+  [[nodiscard]] std::string to_string() const {
+    std::string out;
+    for (const Gate& g : gates_) {
+      out += g.to_string();
+      out += '\n';
+    }
+    return out;
+  }
+
+  /// OpenQASM 2.0-style dump (for inspection; XX rotations emitted as rxx).
+  [[nodiscard]] std::string to_qasm(const std::vector<double>& params = {}) const {
+    std::string out = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[" +
+                      std::to_string(n_) + "];\n";
+    for (const Gate& g : gates_) {
+      const double angle =
+          g.param >= 0 && static_cast<std::size_t>(g.param) < params.size()
+              ? g.angle * params[g.param]
+              : g.angle;
+      switch (g.kind) {
+        case GateKind::kX: out += "x q[" + std::to_string(g.q0) + "];\n"; break;
+        case GateKind::kY: out += "y q[" + std::to_string(g.q0) + "];\n"; break;
+        case GateKind::kZ: out += "z q[" + std::to_string(g.q0) + "];\n"; break;
+        case GateKind::kH: out += "h q[" + std::to_string(g.q0) + "];\n"; break;
+        case GateKind::kS: out += "s q[" + std::to_string(g.q0) + "];\n"; break;
+        case GateKind::kSdg:
+          out += "sdg q[" + std::to_string(g.q0) + "];\n";
+          break;
+        case GateKind::kRz:
+          out += "rz(" + std::to_string(angle) + ") q[" + std::to_string(g.q0) +
+                 "];\n";
+          break;
+        case GateKind::kRx:
+          out += "rx(" + std::to_string(angle) + ") q[" + std::to_string(g.q0) +
+                 "];\n";
+          break;
+        case GateKind::kRy:
+          out += "ry(" + std::to_string(angle) + ") q[" + std::to_string(g.q0) +
+                 "];\n";
+          break;
+        case GateKind::kCnot:
+          out += "cx q[" + std::to_string(g.q0) + "],q[" +
+                 std::to_string(g.q1) + "];\n";
+          break;
+        case GateKind::kCz:
+          out += "cz q[" + std::to_string(g.q0) + "],q[" +
+                 std::to_string(g.q1) + "];\n";
+          break;
+        case GateKind::kSwap:
+          out += "swap q[" + std::to_string(g.q0) + "],q[" +
+                 std::to_string(g.q1) + "];\n";
+          break;
+        case GateKind::kXXrot:
+          out += "rxx(" + std::to_string(angle) + ") q[" +
+                 std::to_string(g.q0) + "],q[" + std::to_string(g.q1) + "];\n";
+          break;
+        case GateKind::kXYrot:
+          out += "rxx(" + std::to_string(angle) + ") q[" +
+                 std::to_string(g.q0) + "],q[" + std::to_string(g.q1) +
+                 "];\nryy(" + std::to_string(angle) + ") q[" +
+                 std::to_string(g.q0) + "],q[" + std::to_string(g.q1) + "];\n";
+          break;
+      }
+    }
+    return out;
+  }
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<Gate> gates_;
+};
+
+}  // namespace femto::circuit

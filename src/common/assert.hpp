@@ -1,0 +1,43 @@
+// Lightweight contract checking used across femto.
+//
+// FEMTO_EXPECTS / FEMTO_ENSURES mirror the GSL Expects/Ensures idiom from the
+// C++ Core Guidelines (I.6, I.8): preconditions and postconditions abort with
+// a readable message. They stay enabled in release builds because every
+// caller of this library is an offline compiler/optimizer where a wrong
+// answer is far worse than a crash.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace femto::detail {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "femto: %s violated: (%s) at %s:%d\n", kind, expr, file,
+               line);
+  std::abort();
+}
+
+}  // namespace femto::detail
+
+#define FEMTO_EXPECTS(cond)                                               \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::femto::detail::contract_failure("precondition", #cond, __FILE__, \
+                                        __LINE__);                        \
+  } while (false)
+
+#define FEMTO_ENSURES(cond)                                                \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::femto::detail::contract_failure("postcondition", #cond, __FILE__, \
+                                        __LINE__);                         \
+  } while (false)
+
+#define FEMTO_ASSERT(cond)                                              \
+  do {                                                                  \
+    if (!(cond))                                                        \
+      ::femto::detail::contract_failure("invariant", #cond, __FILE__,  \
+                                        __LINE__);                      \
+  } while (false)

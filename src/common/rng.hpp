@@ -1,0 +1,65 @@
+// Deterministic random number generation.
+//
+// All stochastic solvers in femto (simulated annealing, the GTSP genetic
+// algorithm, particle swarm, randomized coloring) draw from an explicitly
+// seeded Rng so that every experiment in bench/ is reproducible run-to-run.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+
+#include "common/assert.hpp"
+
+namespace femto {
+
+/// Thin wrapper over std::mt19937_64 with convenience draws.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed5eedULL) : engine_(seed) {}
+
+  /// Uniform integer in [0, n), n > 0.
+  [[nodiscard]] std::size_t index(std::size_t n) {
+    FEMTO_EXPECTS(n > 0);
+    return std::uniform_int_distribution<std::size_t>(0, n - 1)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] int range(int lo, int hi) {
+    FEMTO_EXPECTS(lo <= hi);
+    return std::uniform_int_distribution<int>(lo, hi)(engine_);
+  }
+
+  /// Uniform real in [0, 1).
+  [[nodiscard]] double uniform() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// Uniform real in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Standard normal draw.
+  [[nodiscard]] double normal() {
+    return std::normal_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// Bernoulli draw with success probability p.
+  [[nodiscard]] bool bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename Container>
+  void shuffle(Container& c) {
+    std::shuffle(c.begin(), c.end(), engine_);
+  }
+
+  [[nodiscard]] std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace femto

@@ -1,0 +1,147 @@
+// Advanced fermion-to-qubit transformation search (paper Sec. III-C) and
+// the baseline searches it supersedes.
+//
+//  - Block discovery: connected components of the index-pair graph formed by
+//    creation pairs and annihilation pairs of the fermionic double
+//    excitations (paper Appendix C), minus any excluded indices (qubits that
+//    must stay untouched, e.g. compressed-pair members).
+//  - Advanced search: simulated annealing over block-diagonal Gamma in
+//    GL(N,2); moves are elementary row additions inside one block (closed in
+//    GL). The SA objective is a fast per-term cost; the final pipeline
+//    re-sorts with the full GTSP GA.
+//  - Baseline searches ([9]): binary PSO over strictly-upper-triangular
+//    bits, and greedy transposition hill-climbing for fermionic level
+//    labeling.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "fermion/excitation.hpp"
+#include "gf2/matrix.hpp"
+#include "graph/digraph.hpp"
+#include "opt/binary_pso.hpp"
+#include "opt/simulated_annealing.hpp"
+
+namespace femto::core {
+
+/// Gamma blocks from the excitation-term topology. `excluded` indices never
+/// appear in any block.
+[[nodiscard]] inline std::vector<std::vector<std::size_t>> discover_blocks(
+    std::size_t n, const std::vector<fermion::ExcitationTerm>& terms,
+    const std::vector<std::size_t>& excluded) {
+  std::vector<bool> banned(n, false);
+  for (std::size_t e : excluded) banned[e] = true;
+  std::vector<std::pair<std::size_t, std::size_t>> pairs;
+  for (const auto& t : terms) {
+    if (!t.is_double()) continue;
+    if (!banned[t.p] && !banned[t.q]) pairs.push_back({t.p, t.q});
+    if (!banned[t.r] && !banned[t.s]) pairs.push_back({t.r, t.s});
+  }
+  return graph::pair_components(n, pairs);
+}
+
+/// State of the block-diagonal Gamma search.
+struct GammaState {
+  gf2::Matrix gamma;                              // full n x n
+  std::vector<std::vector<std::size_t>> blocks;   // index sets
+};
+
+/// Elementary in-block row addition: gamma <- E gamma (stays invertible).
+[[nodiscard]] inline GammaState propose_gamma_move(const GammaState& state,
+                                                   Rng& rng) {
+  GammaState next = state;
+  if (state.blocks.empty()) return next;
+  const auto& block = state.blocks[rng.index(state.blocks.size())];
+  if (block.size() < 2) return next;
+  const std::size_t src = block[rng.index(block.size())];
+  std::size_t dst = block[rng.index(block.size())];
+  while (dst == src) dst = block[rng.index(block.size())];
+  next.gamma.add_row(src, dst);
+  return next;
+}
+
+/// Simulated-annealing search over block-diagonal Gamma. `cost` evaluates a
+/// candidate matrix (typically the fast segment cost).
+[[nodiscard]] inline GammaState anneal_gamma(
+    std::size_t n, const std::vector<std::vector<std::size_t>>& blocks,
+    const std::function<double(const gf2::Matrix&)>& cost, Rng& rng,
+    const opt::SaOptions& options = {}) {
+  GammaState init{gf2::Matrix::identity(n), blocks};
+  const auto energy = [&cost](const GammaState& s) { return cost(s.gamma); };
+  const auto res = opt::simulated_annealing<GammaState>(
+      std::move(init), energy, propose_gamma_move, rng, options);
+  return res.best;
+}
+
+/// Baseline [9]: binary PSO over strictly-upper-triangular entries restricted
+/// to `allowed` indices (unit diagonal guarantees invertibility).
+[[nodiscard]] inline gf2::Matrix pso_upper_triangular(
+    std::size_t n, const std::vector<std::size_t>& allowed,
+    const std::function<double(const gf2::Matrix&)>& cost, Rng& rng,
+    const opt::PsoOptions& options = {}) {
+  const std::size_t m = allowed.size();
+  const std::size_t dim = m * (m - 1) / 2;
+  const auto decode = [&](const std::vector<bool>& bits) {
+    gf2::Matrix gamma = gf2::Matrix::identity(n);
+    std::size_t k = 0;
+    for (std::size_t i = 0; i < m; ++i)
+      for (std::size_t j = i + 1; j < m; ++j)
+        gamma.set(allowed[i], allowed[j], bits[k++]);
+    return gamma;
+  };
+  if (dim == 0) return gf2::Matrix::identity(n);
+  const auto energy = [&](const std::vector<bool>& bits) {
+    return cost(decode(bits));
+  };
+  const opt::PsoResult res = opt::binary_pso(dim, energy, rng, options);
+  return decode(res.best);
+}
+
+/// Baseline [9] fermionic level labeling: greedy transposition hill climbing
+/// over mode permutations restricted to `allowed` indices. Returns the
+/// permutation matrix (a member of GL(N,2), composable with any Gamma).
+[[nodiscard]] inline gf2::Matrix greedy_level_labeling(
+    std::size_t n, const std::vector<std::size_t>& allowed,
+    const std::function<double(const gf2::Matrix&)>& cost, int max_rounds = 4) {
+  std::vector<std::size_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+  double best = cost(gf2::Matrix::permutation(perm));
+  for (int round = 0; round < max_rounds; ++round) {
+    bool improved = false;
+    for (std::size_t a = 0; a < allowed.size(); ++a) {
+      for (std::size_t b = a + 1; b < allowed.size(); ++b) {
+        std::swap(perm[allowed[a]], perm[allowed[b]]);
+        const double cand = cost(gf2::Matrix::permutation(perm));
+        if (cand < best - 1e-12) {
+          best = cand;
+          improved = true;
+        } else {
+          std::swap(perm[allowed[a]], perm[allowed[b]]);  // revert
+        }
+      }
+    }
+    if (!improved) break;
+  }
+  return gf2::Matrix::permutation(perm);
+}
+
+/// Embedded Bravyi-Kitaev (Fenwick) matrix over a subset of indices, identity
+/// elsewhere. Used to combine the BK column with pair compression: BK is
+/// built over the uncompressed modes only.
+[[nodiscard]] inline gf2::Matrix embedded_bravyi_kitaev(
+    std::size_t n, const std::vector<std::size_t>& allowed) {
+  gf2::Matrix a = gf2::Matrix::identity(n);
+  const std::size_t m = allowed.size();
+  for (std::size_t i1 = 1; i1 <= m; ++i1) {
+    const std::size_t low = i1 & (~i1 + 1);
+    a.set(allowed[i1 - 1], allowed[i1 - 1], false);
+    for (std::size_t k1 = i1 - low + 1; k1 <= i1; ++k1)
+      a.set(allowed[i1 - 1], allowed[k1 - 1], true);
+  }
+  FEMTO_ENSURES(a.invertible());
+  return a;
+}
+
+}  // namespace femto::core

@@ -1,0 +1,42 @@
+// Conversion of anti-Hermitian generators into rotation-block lists for the
+// synthesizer, plus target-qubit enumeration.
+#pragma once
+
+#include <vector>
+
+#include "pauli/pauli_sum.hpp"
+#include "synth/cost_model.hpp"
+
+namespace femto::core {
+
+/// Expands exp(theta * G), G = sum_k i a_k L_k (anti-Hermitian, commuting
+/// strings), into rotation blocks exp(-i (-2 a_k theta)/2 L_k). Targets are
+/// left at the first support qubit; sorting assigns real targets later.
+[[nodiscard]] inline std::vector<synth::RotationBlock> blocks_from_generator(
+    const pauli::PauliSum& g, int param) {
+  std::vector<synth::RotationBlock> blocks;
+  blocks.reserve(g.size());
+  for (const pauli::PauliTerm& t : g.terms()) {
+    FEMTO_EXPECTS(std::abs(t.coefficient.real()) < 1e-10);
+    if (std::abs(t.coefficient.imag()) < 1e-14) continue;
+    synth::RotationBlock b;
+    b.string = t.string;
+    b.angle_coeff = -2.0 * t.coefficient.imag();
+    b.param = param;
+    b.target = b.string.support().lowest_set();
+    FEMTO_EXPECTS(b.target < b.string.num_qubits());
+    blocks.push_back(std::move(b));
+  }
+  return blocks;
+}
+
+/// All valid target qubits (non-identity sites) of a block's string.
+[[nodiscard]] inline std::vector<std::size_t> valid_targets(
+    const synth::RotationBlock& b) {
+  std::vector<std::size_t> targets;
+  for (std::size_t q = 0; q < b.string.num_qubits(); ++q)
+    if (b.string.letter(q) != pauli::Letter::I) targets.push_back(q);
+  return targets;
+}
+
+}  // namespace femto::core

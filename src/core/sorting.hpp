@@ -1,0 +1,288 @@
+// String-ordering engines.
+//
+// Advanced sorting (paper Sec. III-B): all strings of a segment are sorted
+// jointly over both order and per-string target choice by mapping to GTSP
+// (cluster = string, vertices = (string, target)) and solving with the
+// genetic algorithm.
+//
+// Baseline sorting ([9], used for the JW / BK / GT columns of Table I):
+// every string of one excitation term shares a single target; the
+// intra-term order is solved exactly per target (Held-Karp over <= 8
+// strings, the "exhaustive search" of the baseline); inter-term ordering is
+// doubly greedy -- group terms by best target, order within groups by
+// nearest-neighbor savings.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/rotation_blocks.hpp"
+#include "opt/gtsp.hpp"
+#include "synth/cost_model.hpp"
+
+namespace femto::core {
+
+/// GTSP-based joint sort (order + targets). Returns the blocks in
+/// implementation order with targets assigned.
+[[nodiscard]] inline std::vector<synth::RotationBlock> sort_advanced(
+    const std::vector<synth::RotationBlock>& blocks, Rng& rng,
+    const opt::GtspOptions& options = {}) {
+  if (blocks.size() <= 1) return blocks;
+  // Vertex table: (block index, target).
+  struct Vertex {
+    std::size_t block;
+    std::size_t target;
+  };
+  std::vector<Vertex> vertices;
+  opt::GtspInstance inst;
+  for (std::size_t k = 0; k < blocks.size(); ++k) {
+    std::vector<int> cluster;
+    for (std::size_t t : valid_targets(blocks[k])) {
+      cluster.push_back(static_cast<int>(vertices.size()));
+      vertices.push_back({k, t});
+    }
+    FEMTO_EXPECTS(!cluster.empty());
+    inst.clusters.push_back(std::move(cluster));
+  }
+  // Memoized interface savings. Identical letter strings get weight 0 (the
+  // paper inserts no edge between equal strings; adjacency is allowed but
+  // yields no credit).
+  auto cache = std::make_shared<std::unordered_map<std::uint64_t, double>>();
+  const auto& blocks_ref = blocks;
+  const auto& verts_ref = vertices;
+  inst.weight = [cache, &blocks_ref, &verts_ref](int a, int b) {
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(a) << 32) | static_cast<std::uint32_t>(b);
+    const auto it = cache->find(key);
+    if (it != cache->end()) return it->second;
+    const Vertex& va = verts_ref[static_cast<std::size_t>(a)];
+    const Vertex& vb = verts_ref[static_cast<std::size_t>(b)];
+    double w = 0.0;
+    if (!blocks_ref[va.block].string.same_letters(blocks_ref[vb.block].string))
+      w = synth::interface_saving(blocks_ref[va.block].string, va.target,
+                                  blocks_ref[vb.block].string, vb.target);
+    cache->emplace(key, w);
+    return w;
+  };
+  const opt::GtspSolution sol = opt::solve_gtsp_ga(inst, rng, options);
+  std::vector<synth::RotationBlock> out;
+  out.reserve(blocks.size());
+  for (std::size_t slot = 0; slot < sol.cluster_order.size(); ++slot) {
+    const Vertex& v = vertices[static_cast<std::size_t>(sol.vertex_choice[slot])];
+    synth::RotationBlock b = blocks[v.block];
+    b.target = v.target;
+    out.push_back(std::move(b));
+  }
+  return out;
+}
+
+namespace detail {
+
+/// Exact best order of one term's blocks for a fixed shared target
+/// (Held-Karp over <= ~12 blocks). Returns ordered indices and the total
+/// savings along the path.
+struct IntraResult {
+  std::vector<std::size_t> order;
+  int savings = 0;
+};
+
+[[nodiscard]] inline IntraResult held_karp_order(
+    const std::vector<synth::RotationBlock>& blocks, std::size_t target) {
+  const std::size_t m = blocks.size();
+  FEMTO_EXPECTS(m >= 1 && m <= 16);
+  // Pairwise savings with the shared target.
+  std::vector<std::vector<int>> w(m, std::vector<int>(m, 0));
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < m; ++j)
+      if (i != j &&
+          !blocks[i].string.same_letters(blocks[j].string))
+        w[i][j] = synth::interface_saving(blocks[i].string, target,
+                                          blocks[j].string, target);
+  const std::size_t full = std::size_t{1} << m;
+  std::vector<std::vector<int>> dp(full, std::vector<int>(m, -1));
+  std::vector<std::vector<int>> parent(full, std::vector<int>(m, -1));
+  for (std::size_t k = 0; k < m; ++k) dp[std::size_t{1} << k][k] = 0;
+  for (std::size_t mask = 1; mask < full; ++mask) {
+    for (std::size_t last = 0; last < m; ++last) {
+      if (dp[mask][last] < 0 || !(mask & (std::size_t{1} << last))) continue;
+      for (std::size_t next = 0; next < m; ++next) {
+        if (mask & (std::size_t{1} << next)) continue;
+        const std::size_t nmask = mask | (std::size_t{1} << next);
+        const int cand = dp[mask][last] + w[last][next];
+        if (cand > dp[nmask][next]) {
+          dp[nmask][next] = cand;
+          parent[nmask][next] = static_cast<int>(last);
+        }
+      }
+    }
+  }
+  IntraResult res;
+  std::size_t best_last = 0;
+  int best = -1;
+  for (std::size_t last = 0; last < m; ++last)
+    if (dp[full - 1][last] > best) {
+      best = dp[full - 1][last];
+      best_last = last;
+    }
+  res.savings = best;
+  res.order.resize(m);
+  std::size_t mask = full - 1;
+  std::size_t cur = best_last;
+  for (std::size_t pos = m; pos-- > 0;) {
+    res.order[pos] = cur;
+    const int par = parent[mask][cur];
+    mask ^= std::size_t{1} << cur;
+    if (par < 0) break;
+    cur = static_cast<std::size_t>(par);
+  }
+  return res;
+}
+
+/// Targets common to every block of a term (shared-target candidates).
+[[nodiscard]] inline std::vector<std::size_t> common_targets(
+    const std::vector<synth::RotationBlock>& blocks) {
+  std::vector<std::size_t> out;
+  if (blocks.empty()) return out;
+  for (std::size_t t : valid_targets(blocks[0])) {
+    bool ok = true;
+    for (const auto& b : blocks)
+      if (b.string.letter(t) == pauli::Letter::I) ok = false;
+    if (ok) out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace detail
+
+/// Baseline sort: per-term shared target + exact intra-term order, then
+/// doubly-greedy inter-term ordering (group by target, nearest-neighbor
+/// within and across groups).
+[[nodiscard]] inline std::vector<synth::RotationBlock> sort_baseline(
+    const std::vector<std::vector<synth::RotationBlock>>& per_term) {
+  struct TermPlan {
+    std::vector<synth::RotationBlock> ordered;  // with targets assigned
+    std::size_t target = 0;
+  };
+  std::vector<TermPlan> plans;
+  for (const auto& term_blocks : per_term) {
+    if (term_blocks.empty()) continue;
+    TermPlan best;
+    int best_savings = -1;
+    std::vector<std::size_t> candidates = detail::common_targets(term_blocks);
+    if (candidates.empty()) candidates = valid_targets(term_blocks[0]);
+    for (std::size_t t : candidates) {
+      // Blocks lacking support on t keep their own first support qubit.
+      std::vector<synth::RotationBlock> with_target = term_blocks;
+      for (auto& b : with_target)
+        if (b.string.letter(t) != pauli::Letter::I) b.target = t;
+      const detail::IntraResult res = detail::held_karp_order(with_target, t);
+      if (res.savings > best_savings) {
+        best_savings = res.savings;
+        best.target = t;
+        best.ordered.clear();
+        for (std::size_t idx : res.order)
+          best.ordered.push_back(with_target[idx]);
+      }
+    }
+    plans.push_back(std::move(best));
+  }
+  // Group by shared target (descending group size), nearest-neighbor order
+  // within each group using the real boundary savings.
+  std::vector<std::vector<TermPlan>> groups;
+  for (auto& plan : plans) {
+    bool placed = false;
+    for (auto& g : groups)
+      if (g.front().target == plan.target) {
+        g.push_back(std::move(plan));
+        placed = true;
+        break;
+      }
+    if (!placed) groups.push_back({std::move(plan)});
+  }
+  std::sort(groups.begin(), groups.end(),
+            [](const auto& a, const auto& b) { return a.size() > b.size(); });
+  const auto boundary_saving = [](const TermPlan& a, const TermPlan& b) {
+    const synth::RotationBlock& last = a.ordered.back();
+    const synth::RotationBlock& first = b.ordered.front();
+    if (last.string.same_letters(first.string)) return 0;
+    return synth::interface_saving(last.string, last.target, first.string,
+                                   first.target);
+  };
+  std::vector<synth::RotationBlock> out;
+  for (auto& group : groups) {
+    // Greedy chain within the group.
+    std::vector<bool> used(group.size(), false);
+    std::size_t cur = 0;
+    used[0] = true;
+    std::vector<std::size_t> order{0};
+    for (std::size_t step = 1; step < group.size(); ++step) {
+      int best = -1;
+      std::size_t best_next = 0;
+      for (std::size_t cand = 0; cand < group.size(); ++cand) {
+        if (used[cand]) continue;
+        const int s = boundary_saving(group[cur], group[cand]);
+        if (s > best) {
+          best = s;
+          best_next = cand;
+        }
+      }
+      used[best_next] = true;
+      order.push_back(best_next);
+      cur = best_next;
+    }
+    for (std::size_t idx : order)
+      for (const auto& b : group[idx].ordered) out.push_back(b);
+  }
+  return out;
+}
+
+/// Fast per-term cost used inside annealing loops: nearest-neighbor chain
+/// with per-block target freedom, no inter-term credit.
+[[nodiscard]] inline int fast_term_cost(
+    const std::vector<synth::RotationBlock>& blocks) {
+  if (blocks.empty()) return 0;
+  int total = 0;
+  for (const auto& b : blocks) total += synth::string_cost(b.string);
+  // Greedy chain: start at block 0 with its first target.
+  std::vector<bool> used(blocks.size(), false);
+  used[0] = true;
+  std::size_t cur = 0;
+  std::size_t cur_target = blocks[0].target;
+  for (std::size_t step = 1; step < blocks.size(); ++step) {
+    int best = -1;
+    std::size_t best_next = 0, best_t1 = cur_target, best_t2 = 0;
+    for (std::size_t cand = 0; cand < blocks.size(); ++cand) {
+      if (used[cand] || blocks[cand].string.same_letters(blocks[cur].string))
+        continue;
+      for (std::size_t t1 : valid_targets(blocks[cur])) {
+        if (blocks[cand].string.letter(t1) == pauli::Letter::I) continue;
+        const int s = synth::interface_saving(blocks[cur].string, t1,
+                                              blocks[cand].string, t1);
+        if (s > best) {
+          best = s;
+          best_next = cand;
+          best_t1 = t1;
+          best_t2 = t1;
+        }
+      }
+    }
+    if (best < 0) {
+      // No shareable target; take any unused block with zero saving.
+      for (std::size_t cand = 0; cand < blocks.size(); ++cand)
+        if (!used[cand]) {
+          best_next = cand;
+          best = 0;
+          best_t2 = blocks[cand].target;
+          break;
+        }
+    }
+    total -= std::max(best, 0);
+    used[best_next] = true;
+    cur = best_next;
+    cur_target = best_t2;
+  }
+  return total;
+}
+
+}  // namespace femto::core

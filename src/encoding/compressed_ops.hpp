@@ -1,0 +1,101 @@
+// Compressed qubit operators for pair-symmetric excitation terms
+// (paper Sec. III-A).
+//
+// Convention: a compressed spin pair (p, p+1) stores its amplitude on qubit
+// p with qubit p+1 parked in |0> (compression map CNOT(p -> p+1); from the
+// Hartree-Fock basis state the compressed form is prepared directly, at no
+// CNOT cost).
+//
+// Construction rule: hard-core boson substitution d^dag_{p,p+1} -> sigma^+_p
+// on the pair qubit, while the Jordan-Wigner image of the *individual* side
+// keeps its strings except that Z_k Z_{k+1} factors crossing any compressed
+// pair reduce to identity (a parity-definite pair is a ZZ eigenstate, and JW
+// strings always cross adjacent pairs wholly or not at all). The resulting
+// generator is exact on the symmetric subspace up to a term-wide +-1 that the
+// variational parameter absorbs; tests pin the unitary equivalence.
+#pragma once
+
+#include <vector>
+
+#include "fermion/excitation.hpp"
+#include "pauli/pauli_sum.hpp"
+#include "transform/linear_encoding.hpp"
+
+namespace femto::encoding {
+
+/// sigma^+ = |1><0| = (X - iY)/2 on qubit q (or sigma^- when raise=false).
+[[nodiscard]] inline pauli::PauliSum sigma_pm(std::size_t n, std::size_t q,
+                                              bool raise) {
+  pauli::PauliSum s(n);
+  s.add({0.5, 0.0}, pauli::PauliString::single(n, q, pauli::Letter::X));
+  s.add({0.0, raise ? -0.5 : 0.5},
+        pauli::PauliString::single(n, q, pauli::Letter::Y));
+  return s;
+}
+
+/// Deletes Z@Z factors on each compressed pair from every string of `sum`.
+/// Precondition: no string acts on exactly one member of a compressed pair
+/// with unequal letters (that would be an individual action, contradicting
+/// compression bookkeeping).
+[[nodiscard]] inline pauli::PauliSum reduce_over_pairs(
+    const pauli::PauliSum& sum, const std::vector<std::size_t>& pair_lows) {
+  pauli::PauliSum out(sum.num_qubits());
+  for (const pauli::PauliTerm& t : sum.terms()) {
+    pauli::PauliString s = t.string;
+    for (std::size_t lo : pair_lows) {
+      const pauli::Letter a = s.letter(lo);
+      const pauli::Letter b = s.letter(lo + 1);
+      if (!((a == pauli::Letter::I || a == pauli::Letter::Z) && a == b)) {
+        std::fprintf(stderr,
+                     "femto: reduce_over_pairs: string %s acts individually "
+                     "on compressed pair (%zu,%zu)\n",
+                     s.to_string().c_str(), lo, lo + 1);
+      }
+      FEMTO_EXPECTS((a == pauli::Letter::I || a == pauli::Letter::Z) &&
+                    a == b);
+      if (a == pauli::Letter::Z) {
+        s.set_letter(lo, pauli::Letter::I);
+        s.set_letter(lo + 1, pauli::Letter::I);
+      }
+    }
+    out.add(t.coefficient, s);
+  }
+  out.prune();
+  return out;
+}
+
+/// Compressed anti-Hermitian generator T - T^dag of a bosonic or hybrid
+/// double excitation. `compressed_lows` lists every pair currently
+/// compressed (including this term's own pair(s)).
+[[nodiscard]] inline pauli::PauliSum compressed_generator(
+    std::size_t n, const fermion::ExcitationTerm& term,
+    const std::vector<std::size_t>& compressed_lows) {
+  using fermion::FermionOperator;
+  FEMTO_EXPECTS(term.is_double());
+  FEMTO_EXPECTS(term.creation_is_spin_pair() ||
+                term.annihilation_is_spin_pair());
+  // Build T = (pair side as sigma^+/-) * (individual side JW-reduced).
+  pauli::PauliSum t = pauli::PauliSum::from_term(
+      {1.0, 0.0}, pauli::PauliString::identity(n));
+  if (term.creation_is_spin_pair()) {
+    t = t * sigma_pm(n, term.p, /*raise=*/true);
+  } else {
+    const FermionOperator part =
+        FermionOperator::ladder(term.p, true) *
+        FermionOperator::ladder(term.q, true);
+    t = t * reduce_over_pairs(transform::jw_map(n, part), compressed_lows);
+  }
+  if (term.annihilation_is_spin_pair()) {
+    t = t * sigma_pm(n, term.r, /*raise=*/false);
+  } else {
+    const FermionOperator part =
+        FermionOperator::ladder(term.r, false) *
+        FermionOperator::ladder(term.s, false);
+    t = t * reduce_over_pairs(transform::jw_map(n, part), compressed_lows);
+  }
+  pauli::PauliSum g = t + pauli::Complex(-1.0, 0.0) * t.adjoint();
+  g.prune();
+  return g;
+}
+
+}  // namespace femto::encoding

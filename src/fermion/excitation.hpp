@@ -1,0 +1,157 @@
+// UCCSD excitation terms and the parity-symmetry classification of
+// Sec. III-A of the paper.
+//
+// Spin-orbital convention: interleaved spins, 0-indexed. Spatial orbital k
+// owns spin orbitals 2k (alpha) and 2k+1 (beta); a "spin pair" is the index
+// pair (2k, 2k+1). The paper's pair compression ("bosonic"/"hybrid"
+// encodings) applies exactly to these pairs.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "fermion/operators.hpp"
+
+namespace femto::fermion {
+
+/// True when {a, b} = {2k, 2k+1} for some spatial orbital k.
+[[nodiscard]] constexpr bool is_spin_pair(std::size_t a, std::size_t b) {
+  const std::size_t lo = a < b ? a : b;
+  const std::size_t hi = a < b ? b : a;
+  return lo % 2 == 0 && hi == lo + 1;
+}
+
+/// Parity-symmetry class of an excitation term (paper Sec. III-A).
+enum class ExcitationClass {
+  kBosonic,    // both creation and annihilation sides are spin pairs
+  kHybrid,     // exactly one side is a spin pair
+  kFermionic,  // neither side (also all single excitations)
+};
+
+[[nodiscard]] inline const char* to_string(ExcitationClass c) {
+  switch (c) {
+    case ExcitationClass::kBosonic: return "bosonic";
+    case ExcitationClass::kHybrid: return "hybrid";
+    default: return "fermionic";
+  }
+}
+
+/// A single or double excitation of the UCCSD ansatz. For a double, the
+/// generator is T = a+_p a+_q a_r a_s (creation on p<q, annihilation on r<s);
+/// for a single, T = a+_p a_r. The anti-Hermitian generator is T - T^dag.
+struct ExcitationTerm {
+  enum class Kind { kSingle, kDouble };
+
+  Kind kind = Kind::kDouble;
+  std::size_t p = 0;  // creation (virtual)
+  std::size_t q = 0;  // creation (doubles only), p < q
+  std::size_t r = 0;  // annihilation (occupied)
+  std::size_t s = 0;  // annihilation (doubles only), r < s
+  double mp2_estimate = 0.0;  // |second-order amplitude|, for HMP2 ordering
+
+  [[nodiscard]] static ExcitationTerm single(std::size_t p, std::size_t r) {
+    ExcitationTerm t;
+    t.kind = Kind::kSingle;
+    t.p = p;
+    t.r = r;
+    return t;
+  }
+
+  [[nodiscard]] static ExcitationTerm make_double(std::size_t p, std::size_t q,
+                                                  std::size_t r, std::size_t s) {
+    FEMTO_EXPECTS(p != q && r != s);
+    ExcitationTerm t;
+    t.kind = Kind::kDouble;
+    t.p = p < q ? p : q;
+    t.q = p < q ? q : p;
+    t.r = r < s ? r : s;
+    t.s = r < s ? s : r;
+    return t;
+  }
+
+  [[nodiscard]] bool is_double() const { return kind == Kind::kDouble; }
+
+  /// T (the excitation part, without the -h.c.).
+  [[nodiscard]] FermionOperator excitation_part() const {
+    if (kind == Kind::kSingle)
+      return FermionOperator::term({1.0, 0.0},
+                                   {{p, true}, {r, false}});
+    return FermionOperator::term(
+        {1.0, 0.0}, {{p, true}, {q, true}, {r, false}, {s, false}});
+  }
+
+  /// The anti-Hermitian generator T - T^dag; exp(theta * generator) is the
+  /// circuit block for this term.
+  [[nodiscard]] FermionOperator generator() const {
+    const FermionOperator t = excitation_part();
+    return t - t.adjoint();
+  }
+
+  [[nodiscard]] bool creation_is_spin_pair() const {
+    return is_double() && is_spin_pair(p, q);
+  }
+  [[nodiscard]] bool annihilation_is_spin_pair() const {
+    return is_double() && is_spin_pair(r, s);
+  }
+
+  [[nodiscard]] ExcitationClass classification() const {
+    if (!is_double()) return ExcitationClass::kFermionic;
+    const bool c = creation_is_spin_pair();
+    const bool a = annihilation_is_spin_pair();
+    if (c && a) return ExcitationClass::kBosonic;
+    if (c || a) return ExcitationClass::kHybrid;
+    return ExcitationClass::kFermionic;
+  }
+
+  /// Indices this term acts on *individually* (not as a whole spin pair).
+  /// Acting individually on index i breaks the parity symmetry of the spin
+  /// pair containing i; acting on a whole pair preserves every pair parity.
+  [[nodiscard]] std::vector<std::size_t> individual_indices() const {
+    if (!is_double()) return {p, r};
+    std::vector<std::size_t> out;
+    if (!creation_is_spin_pair()) {
+      out.push_back(p);
+      out.push_back(q);
+    }
+    if (!annihilation_is_spin_pair()) {
+      out.push_back(r);
+      out.push_back(s);
+    }
+    return out;
+  }
+
+  /// All distinct spin orbitals referenced.
+  [[nodiscard]] std::vector<std::size_t> support() const {
+    if (!is_double()) return {p, r};
+    return {p, q, r, s};
+  }
+
+  /// Paper predicate B(this, other): does applying *this* break the parity
+  /// symmetry that *other*'s compression requires? True iff one of this
+  /// term's individual indices hits other's compressible spin pair.
+  [[nodiscard]] bool breaks_symmetry_of(const ExcitationTerm& other) const {
+    if (other.classification() != ExcitationClass::kHybrid &&
+        other.classification() != ExcitationClass::kBosonic)
+      return false;
+    auto hits_pair = [this](std::size_t lo) {
+      for (std::size_t i : individual_indices())
+        if (i == lo || i == lo + 1) return true;
+      return false;
+    };
+    if (other.creation_is_spin_pair() && hits_pair(other.p)) return true;
+    if (other.annihilation_is_spin_pair() && hits_pair(other.r)) return true;
+    return false;
+  }
+
+  [[nodiscard]] std::string to_string() const {
+    if (kind == Kind::kSingle)
+      return "a+_" + std::to_string(p) + " a_" + std::to_string(r);
+    return "a+_" + std::to_string(p) + " a+_" + std::to_string(q) + " a_" +
+           std::to_string(r) + " a_" + std::to_string(s);
+  }
+
+  [[nodiscard]] bool operator==(const ExcitationTerm&) const = default;
+};
+
+}  // namespace femto::fermion

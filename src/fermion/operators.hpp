@@ -1,0 +1,208 @@
+// Second-quantized fermionic operators.
+//
+// FermionOperator is a complex linear combination of ladder-operator
+// products. Normal ordering implements the canonical anticommutation
+// relations {a_i, a_j^dag} = delta_ij, {a_i, a_j} = 0; it is used to verify
+// operator identities in tests and to build Hamiltonians.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace femto::fermion {
+
+using Complex = std::complex<double>;
+
+/// One ladder operator: a_mode or a_mode^dagger.
+struct LadderOp {
+  std::size_t mode = 0;
+  bool dagger = false;
+  [[nodiscard]] bool operator==(const LadderOp&) const = default;
+  [[nodiscard]] auto operator<=>(const LadderOp&) const = default;
+};
+
+/// Product of ladder operators with a complex coefficient.
+struct FermionTerm {
+  Complex coefficient{1.0, 0.0};
+  std::vector<LadderOp> ops;
+
+  [[nodiscard]] std::string to_string() const {
+    std::string out;
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "(%+.6g%+.6gi)", coefficient.real(),
+                  coefficient.imag());
+    out += buf;
+    for (const LadderOp& op : ops) {
+      out += " a";
+      if (op.dagger) out += '+';
+      out += "_" + std::to_string(op.mode);
+    }
+    return out;
+  }
+};
+
+/// Sum of FermionTerms.
+class FermionOperator {
+ public:
+  FermionOperator() = default;
+
+  [[nodiscard]] static FermionOperator zero() { return {}; }
+
+  [[nodiscard]] static FermionOperator identity(Complex coeff = {1.0, 0.0}) {
+    FermionOperator op;
+    op.terms_.push_back({coeff, {}});
+    return op;
+  }
+
+  /// Single ladder operator a_mode (dagger=false) or a_mode^dag.
+  [[nodiscard]] static FermionOperator ladder(std::size_t mode, bool dagger) {
+    FermionOperator op;
+    op.terms_.push_back({{1.0, 0.0}, {LadderOp{mode, dagger}}});
+    return op;
+  }
+
+  /// Product term coeff * a^(dag?)_{ops[0]} ... in the given order.
+  [[nodiscard]] static FermionOperator term(Complex coeff,
+                                            std::vector<LadderOp> ops) {
+    FermionOperator op;
+    op.terms_.push_back({coeff, std::move(ops)});
+    return op;
+  }
+
+  [[nodiscard]] const std::vector<FermionTerm>& terms() const { return terms_; }
+  [[nodiscard]] bool empty() const { return terms_.empty(); }
+
+  void add_term(Complex coeff, std::vector<LadderOp> ops) {
+    terms_.push_back({coeff, std::move(ops)});
+  }
+
+  [[nodiscard]] friend FermionOperator operator+(FermionOperator lhs,
+                                                 const FermionOperator& rhs) {
+    lhs.terms_.insert(lhs.terms_.end(), rhs.terms_.begin(), rhs.terms_.end());
+    return lhs;
+  }
+
+  [[nodiscard]] friend FermionOperator operator-(FermionOperator lhs,
+                                                 const FermionOperator& rhs) {
+    for (const FermionTerm& t : rhs.terms_)
+      lhs.terms_.push_back({-t.coefficient, t.ops});
+    return lhs;
+  }
+
+  [[nodiscard]] friend FermionOperator operator*(Complex scalar,
+                                                 FermionOperator op) {
+    for (FermionTerm& t : op.terms_) t.coefficient *= scalar;
+    return op;
+  }
+
+  [[nodiscard]] friend FermionOperator operator*(const FermionOperator& lhs,
+                                                 const FermionOperator& rhs) {
+    FermionOperator out;
+    for (const FermionTerm& a : lhs.terms_) {
+      for (const FermionTerm& b : rhs.terms_) {
+        FermionTerm t;
+        t.coefficient = a.coefficient * b.coefficient;
+        t.ops = a.ops;
+        t.ops.insert(t.ops.end(), b.ops.begin(), b.ops.end());
+        out.terms_.push_back(std::move(t));
+      }
+    }
+    return out;
+  }
+
+  /// Hermitian conjugate: reverse each product, conjugate coefficients,
+  /// flip daggers.
+  [[nodiscard]] FermionOperator adjoint() const {
+    FermionOperator out;
+    for (const FermionTerm& t : terms_) {
+      FermionTerm r;
+      r.coefficient = std::conj(t.coefficient);
+      r.ops.reserve(t.ops.size());
+      for (auto it = t.ops.rbegin(); it != t.ops.rend(); ++it)
+        r.ops.push_back({it->mode, !it->dagger});
+      out.terms_.push_back(std::move(r));
+    }
+    return out;
+  }
+
+  /// Normal-ordered form: daggers before non-daggers, modes descending within
+  /// daggers and ascending within annihilators; equal-mode contractions
+  /// produce the delta terms. Terms with repeated identical ladder ops vanish.
+  [[nodiscard]] FermionOperator normal_ordered() const {
+    FermionOperator out;
+    for (const FermionTerm& t : terms_) normal_order_term(t, out);
+    out.combine();
+    return out;
+  }
+
+  /// Merges identical op sequences; drops negligible coefficients.
+  void combine(double eps = 1e-12) {
+    std::map<std::vector<LadderOp>, Complex> acc;
+    for (const FermionTerm& t : terms_) acc[t.ops] += t.coefficient;
+    terms_.clear();
+    for (auto& [ops, coeff] : acc)
+      if (std::abs(coeff) > eps) terms_.push_back({coeff, ops});
+  }
+
+  [[nodiscard]] std::string to_string() const {
+    std::string out;
+    for (const FermionTerm& t : terms_) {
+      out += t.to_string();
+      out += '\n';
+    }
+    return out;
+  }
+
+ private:
+  // Bubble-sorts one term into normal order, emitting contraction terms
+  // recursively. Exponential only in the number of *contractions*, which is
+  // tiny for physical 2- and 4-operator terms.
+  static void normal_order_term(const FermionTerm& term, FermionOperator& out) {
+    std::vector<FermionTerm> stack{term};
+    while (!stack.empty()) {
+      FermionTerm t = std::move(stack.back());
+      stack.pop_back();
+      bool swapped = false;
+      for (std::size_t i = 0; i + 1 < t.ops.size(); ++i) {
+        LadderOp& a = t.ops[i];
+        LadderOp& b = t.ops[i + 1];
+        const bool out_of_order =
+            (!a.dagger && b.dagger) ||
+            (a.dagger && b.dagger && a.mode < b.mode) ||
+            (!a.dagger && !b.dagger && a.mode > b.mode);
+        if (!out_of_order) continue;
+        if (a.mode == b.mode && !a.dagger && b.dagger) {
+          // a_i a_i^dag = 1 - a_i^dag a_i : emit the contracted term too.
+          FermionTerm contracted;
+          contracted.coefficient = t.coefficient;
+          contracted.ops.assign(t.ops.begin(), t.ops.begin() + i);
+          contracted.ops.insert(contracted.ops.end(), t.ops.begin() + i + 2,
+                                t.ops.end());
+          stack.push_back(std::move(contracted));
+        }
+        std::swap(a, b);
+        t.coefficient = -t.coefficient;
+        swapped = true;
+        break;
+      }
+      if (swapped) {
+        stack.push_back(std::move(t));
+        continue;
+      }
+      // Now normal ordered; a repeated ladder op squares to zero.
+      bool vanishes = false;
+      for (std::size_t i = 0; i + 1 < t.ops.size(); ++i)
+        if (t.ops[i] == t.ops[i + 1]) vanishes = true;
+      if (!vanishes) out.terms_.push_back(std::move(t));
+    }
+  }
+
+  std::vector<FermionTerm> terms_;
+};
+
+}  // namespace femto::fermion

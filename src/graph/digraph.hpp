@@ -1,0 +1,242 @@
+// Directed and undirected graph utilities for the hybrid-encoding pipeline
+// (Sec. III-A): sink/source peeling and randomized greedy vertex coloring.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace femto::graph {
+
+/// Simple directed graph over vertices 0..n-1 with adjacency matrices
+/// (problem sizes here are tens of vertices).
+class Digraph {
+ public:
+  explicit Digraph(std::size_t n) : n_(n), adj_(n, std::vector<bool>(n, false)) {}
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+
+  void add_edge(std::size_t from, std::size_t to) {
+    FEMTO_EXPECTS(from < n_ && to < n_ && from != to);
+    adj_[from][to] = true;
+  }
+
+  [[nodiscard]] bool has_edge(std::size_t from, std::size_t to) const {
+    return adj_[from][to];
+  }
+
+  [[nodiscard]] std::size_t out_degree(std::size_t v) const {
+    std::size_t d = 0;
+    for (std::size_t u = 0; u < n_; ++u)
+      if (adj_[v][u]) ++d;
+    return d;
+  }
+
+  [[nodiscard]] std::size_t in_degree(std::size_t v) const {
+    std::size_t d = 0;
+    for (std::size_t u = 0; u < n_; ++u)
+      if (adj_[u][v]) ++d;
+    return d;
+  }
+
+ private:
+  std::size_t n_;
+  std::vector<std::vector<bool>> adj_;
+};
+
+/// Result of iterative sink/source peeling (paper Sec. III-A "graph
+/// reduction"). Sinks break no remaining symmetry and run first, in peel
+/// order; sources are broken by nobody and run last, in *reverse* peel order;
+/// the remainder goes to coloring.
+struct PeelResult {
+  std::vector<std::size_t> sinks;      // application order
+  std::vector<std::size_t> sources;    // application order (already reversed)
+  std::vector<std::size_t> remainder;  // vertices of the reduced graph
+};
+
+[[nodiscard]] inline PeelResult peel_sinks_sources(const Digraph& g) {
+  const std::size_t n = g.size();
+  std::vector<bool> removed(n, false);
+  std::vector<std::size_t> out_deg(n, 0), in_deg(n, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    out_deg[v] = g.out_degree(v);
+    in_deg[v] = g.in_degree(v);
+  }
+  PeelResult result;
+  std::vector<std::size_t> source_rounds;  // collected in peel order
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Identify this round's sinks and sources simultaneously (a vertex that
+    // is both -- isolated -- counts as a sink).
+    std::vector<std::size_t> round_sinks, round_sources;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (removed[v]) continue;
+      if (out_deg[v] == 0)
+        round_sinks.push_back(v);
+      else if (in_deg[v] == 0)
+        round_sources.push_back(v);
+    }
+    for (std::size_t v : round_sinks) {
+      removed[v] = true;
+      result.sinks.push_back(v);
+      changed = true;
+    }
+    for (std::size_t v : round_sources) {
+      removed[v] = true;
+      source_rounds.push_back(v);
+      changed = true;
+    }
+    // Update degrees.
+    if (changed) {
+      for (std::size_t v = 0; v < n; ++v) {
+        if (removed[v]) continue;
+        std::size_t od = 0, id = 0;
+        for (std::size_t u = 0; u < n; ++u) {
+          if (removed[u]) continue;
+          if (g.has_edge(v, u)) ++od;
+          if (g.has_edge(u, v)) ++id;
+        }
+        out_deg[v] = od;
+        in_deg[v] = id;
+      }
+    }
+  }
+  // Sources apply last; later-peeled sources must run before earlier ones.
+  result.sources.assign(source_rounds.rbegin(), source_rounds.rend());
+  for (std::size_t v = 0; v < n; ++v)
+    if (!removed[v]) result.remainder.push_back(v);
+  return result;
+}
+
+/// Undirected graph (for coloring), as a symmetric adjacency matrix.
+class UndirectedGraph {
+ public:
+  explicit UndirectedGraph(std::size_t n)
+      : n_(n), adj_(n, std::vector<bool>(n, false)) {}
+
+  /// Drops edge directions of a digraph restricted to a vertex subset;
+  /// vertices are re-indexed 0..subset.size()-1 in subset order.
+  [[nodiscard]] static UndirectedGraph from_digraph_subset(
+      const Digraph& g, const std::vector<std::size_t>& subset) {
+    UndirectedGraph u(subset.size());
+    for (std::size_t i = 0; i < subset.size(); ++i)
+      for (std::size_t j = i + 1; j < subset.size(); ++j)
+        if (g.has_edge(subset[i], subset[j]) || g.has_edge(subset[j], subset[i]))
+          u.add_edge(i, j);
+    return u;
+  }
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+
+  void add_edge(std::size_t a, std::size_t b) {
+    FEMTO_EXPECTS(a < n_ && b < n_ && a != b);
+    adj_[a][b] = adj_[b][a] = true;
+  }
+
+  [[nodiscard]] bool has_edge(std::size_t a, std::size_t b) const {
+    return adj_[a][b];
+  }
+
+ private:
+  std::size_t n_;
+  std::vector<std::vector<bool>> adj_;
+};
+
+/// A proper coloring: color[v] in [0, num_colors).
+struct Coloring {
+  std::vector<int> color;
+  int num_colors = 0;
+
+  [[nodiscard]] std::vector<std::size_t> largest_class() const {
+    std::vector<std::size_t> count(static_cast<std::size_t>(num_colors), 0);
+    for (int c : color) ++count[static_cast<std::size_t>(c)];
+    const int best = static_cast<int>(
+        std::max_element(count.begin(), count.end()) - count.begin());
+    std::vector<std::size_t> out;
+    for (std::size_t v = 0; v < color.size(); ++v)
+      if (color[v] == best) out.push_back(v);
+    return out;
+  }
+};
+
+[[nodiscard]] inline bool coloring_is_proper(const UndirectedGraph& g,
+                                             const Coloring& c) {
+  for (std::size_t a = 0; a < g.size(); ++a)
+    for (std::size_t b = a + 1; b < g.size(); ++b)
+      if (g.has_edge(a, b) && c.color[a] == c.color[b]) return false;
+  return true;
+}
+
+/// Randomized greedy coloring (paper Sec. IV): vertices are visited in many
+/// random orders; each vertex takes the smallest feasible existing color and
+/// a new color only when forced. Best result = fewest colors, ties broken by
+/// the larger maximum class.
+[[nodiscard]] inline Coloring greedy_color_randomized(const UndirectedGraph& g,
+                                                      Rng& rng,
+                                                      int num_orders = 64) {
+  const std::size_t n = g.size();
+  Coloring best;
+  best.num_colors = static_cast<int>(n) + 1;
+  std::size_t best_class = 0;
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  for (int trial = 0; trial < std::max(1, num_orders); ++trial) {
+    rng.shuffle(order);
+    Coloring c;
+    c.color.assign(n, -1);
+    c.num_colors = 0;
+    for (std::size_t v : order) {
+      std::vector<bool> used(static_cast<std::size_t>(c.num_colors) + 1, false);
+      for (std::size_t u = 0; u < n; ++u)
+        if (g.has_edge(v, u) && c.color[u] >= 0)
+          used[static_cast<std::size_t>(c.color[u])] = true;
+      int chosen = -1;
+      for (int col = 0; col < c.num_colors; ++col) {
+        if (!used[static_cast<std::size_t>(col)]) {
+          chosen = col;
+          break;
+        }
+      }
+      if (chosen < 0) chosen = c.num_colors++;
+      c.color[v] = chosen;
+    }
+    const std::size_t cls = n == 0 ? 0 : c.largest_class().size();
+    if (c.num_colors < best.num_colors ||
+        (c.num_colors == best.num_colors && cls > best_class)) {
+      best = c;
+      best_class = cls;
+    }
+  }
+  if (n == 0) best.num_colors = 0;
+  return best;
+}
+
+/// Connected components of an index-pair graph (used to discover the
+/// block-diagonal structure of Gamma, Sec. III-C). Returns, for each
+/// component with >= 2 members, the sorted member list.
+[[nodiscard]] inline std::vector<std::vector<std::size_t>> pair_components(
+    std::size_t n, const std::vector<std::pair<std::size_t, std::size_t>>& pairs) {
+  std::vector<std::size_t> parent(n);
+  for (std::size_t i = 0; i < n; ++i) parent[i] = i;
+  const auto find = [&](std::size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (const auto& [a, b] : pairs) {
+    FEMTO_EXPECTS(a < n && b < n);
+    parent[find(a)] = find(b);
+  }
+  std::vector<std::vector<std::size_t>> groups(n);
+  for (std::size_t i = 0; i < n; ++i) groups[find(i)].push_back(i);
+  std::vector<std::vector<std::size_t>> out;
+  for (auto& g : groups)
+    if (g.size() >= 2) out.push_back(std::move(g));
+  return out;
+}
+
+}  // namespace femto::graph

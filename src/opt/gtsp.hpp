@@ -1,0 +1,264 @@
+// Generalized traveling salesman solver (paper Sec. III-B).
+//
+// Clusters partition the vertex set; a solution visits exactly one vertex
+// per cluster. We *maximize* the summed weight of consecutive vertex pairs
+// along a path (the CNOT savings), which matches the paper's construction
+// after its weight * -1 trick.
+//
+// The solver is a genetic algorithm in the spirit of Silberholz & Bader
+// (reference [21]): chromosomes are cluster orders bred with order crossover
+// and segment-reversal mutation. For any fixed cluster order the optimal
+// vertex choice per cluster is computed *exactly* by layered dynamic
+// programming ("cluster optimization"), so the GA searches only the order
+// space. A greedy nearest-neighbor seed accelerates convergence.
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace femto::opt {
+
+struct GtspInstance {
+  /// clusters[k] lists the global vertex ids of cluster k.
+  std::vector<std::vector<int>> clusters;
+  /// Pairwise weight (saving) between consecutive vertices; symmetric in our
+  /// use but not required.
+  std::function<double(int, int)> weight;
+};
+
+struct GtspSolution {
+  std::vector<std::size_t> cluster_order;  // permutation of cluster indices
+  std::vector<int> vertex_choice;          // chosen vertex per *ordered* slot
+  double value = 0.0;                      // total path weight (maximized)
+};
+
+struct GtspOptions {
+  int population = 32;
+  int generations = 200;
+  int tournament = 3;
+  double mutation_rate = 0.35;
+  int stagnation_limit = 60;  // stop early after this many flat generations
+};
+
+namespace detail {
+
+/// Exact best vertex assignment for a fixed cluster order (layered DP).
+[[nodiscard]] inline GtspSolution cluster_dp(
+    const GtspInstance& inst, const std::vector<std::size_t>& order) {
+  GtspSolution sol;
+  sol.cluster_order = order;
+  const std::size_t m = order.size();
+  if (m == 0) return sol;
+  const auto& first = inst.clusters[order[0]];
+  std::vector<double> dp(first.size(), 0.0);
+  std::vector<std::vector<int>> back(m);
+  for (std::size_t k = 1; k < m; ++k) {
+    const auto& prev = inst.clusters[order[k - 1]];
+    const auto& cur = inst.clusters[order[k]];
+    std::vector<double> next(cur.size(),
+                             -std::numeric_limits<double>::infinity());
+    back[k].assign(cur.size(), 0);
+    for (std::size_t j = 0; j < cur.size(); ++j) {
+      for (std::size_t i = 0; i < prev.size(); ++i) {
+        const double v = dp[i] + inst.weight(prev[i], cur[j]);
+        if (v > next[j]) {
+          next[j] = v;
+          back[k][j] = static_cast<int>(i);
+        }
+      }
+    }
+    dp = std::move(next);
+  }
+  std::size_t best = 0;
+  for (std::size_t j = 1; j < dp.size(); ++j)
+    if (dp[j] > dp[best]) best = j;
+  sol.value = dp[best];
+  sol.vertex_choice.assign(m, 0);
+  std::size_t cursor = best;
+  for (std::size_t k = m; k-- > 0;) {
+    sol.vertex_choice[k] = inst.clusters[order[k]][cursor];
+    if (k > 0) cursor = static_cast<std::size_t>(back[k][cursor]);
+  }
+  return sol;
+}
+
+/// Order crossover (OX) for permutations.
+[[nodiscard]] inline std::vector<std::size_t> order_crossover(
+    const std::vector<std::size_t>& a, const std::vector<std::size_t>& b,
+    Rng& rng) {
+  const std::size_t m = a.size();
+  if (m < 2) return a;
+  std::size_t lo = rng.index(m), hi = rng.index(m);
+  if (lo > hi) std::swap(lo, hi);
+  std::vector<std::size_t> child(m, m);
+  std::vector<bool> taken(m, false);
+  for (std::size_t k = lo; k <= hi; ++k) {
+    child[k] = a[k];
+    taken[a[k]] = true;
+  }
+  std::size_t cursor = 0;
+  for (std::size_t k = 0; k < m; ++k) {
+    if (child[k] != m) continue;
+    while (taken[b[cursor]]) ++cursor;
+    child[k] = b[cursor];
+    taken[b[cursor]] = true;
+  }
+  return child;
+}
+
+inline void mutate(std::vector<std::size_t>& order, Rng& rng) {
+  const std::size_t m = order.size();
+  if (m < 2) return;
+  if (rng.bernoulli(0.5)) {
+    // Segment reversal (2-opt style).
+    std::size_t lo = rng.index(m), hi = rng.index(m);
+    if (lo > hi) std::swap(lo, hi);
+    std::reverse(order.begin() + static_cast<std::ptrdiff_t>(lo),
+                 order.begin() + static_cast<std::ptrdiff_t>(hi) + 1);
+  } else {
+    // Random relocation of one cluster.
+    const std::size_t from = rng.index(m);
+    const std::size_t to = rng.index(m);
+    const std::size_t v = order[from];
+    order.erase(order.begin() + static_cast<std::ptrdiff_t>(from));
+    order.insert(order.begin() + static_cast<std::ptrdiff_t>(to), v);
+  }
+}
+
+/// Greedy nearest-neighbor seed: repeatedly appends the cluster whose best
+/// vertex pairing with the current tail is maximal.
+[[nodiscard]] inline std::vector<std::size_t> greedy_seed(
+    const GtspInstance& inst, std::size_t start, Rng&) {
+  const std::size_t m = inst.clusters.size();
+  std::vector<bool> used(m, false);
+  std::vector<std::size_t> order{start};
+  used[start] = true;
+  int tail = inst.clusters[start].front();
+  for (std::size_t step = 1; step < m; ++step) {
+    double best = -std::numeric_limits<double>::infinity();
+    std::size_t best_cluster = m;
+    int best_vertex = -1;
+    for (std::size_t c = 0; c < m; ++c) {
+      if (used[c]) continue;
+      for (int v : inst.clusters[c]) {
+        const double w = inst.weight(tail, v);
+        if (w > best) {
+          best = w;
+          best_cluster = c;
+          best_vertex = v;
+        }
+      }
+    }
+    order.push_back(best_cluster);
+    used[best_cluster] = true;
+    tail = best_vertex;
+  }
+  return order;
+}
+
+}  // namespace detail
+
+/// Maximizes total consecutive-pair weight over cluster orders and vertex
+/// choices (path version of GTSP).
+[[nodiscard]] inline GtspSolution solve_gtsp_ga(const GtspInstance& inst,
+                                                Rng& rng,
+                                                const GtspOptions& options = {}) {
+  const std::size_t m = inst.clusters.size();
+  GtspSolution best;
+  if (m == 0) return best;
+  for (const auto& c : inst.clusters) FEMTO_EXPECTS(!c.empty());
+  if (m == 1) return detail::cluster_dp(inst, {0});
+
+  // Seed population: greedy tours from a few anchors + random permutations.
+  std::vector<std::vector<std::size_t>> pop;
+  const int pop_size = std::max(4, options.population);
+  for (std::size_t s = 0; s < std::min<std::size_t>(4, m); ++s)
+    pop.push_back(detail::greedy_seed(inst, s * (m / std::max<std::size_t>(1, 4)) % m, rng));
+  std::vector<std::size_t> base(m);
+  for (std::size_t i = 0; i < m; ++i) base[i] = i;
+  while (pop.size() < static_cast<std::size_t>(pop_size)) {
+    rng.shuffle(base);
+    pop.push_back(base);
+  }
+
+  std::vector<double> fitness(pop.size());
+  const auto evaluate = [&](const std::vector<std::size_t>& order) {
+    return detail::cluster_dp(inst, order).value;
+  };
+  for (std::size_t i = 0; i < pop.size(); ++i) fitness[i] = evaluate(pop[i]);
+
+  const auto tournament_pick = [&]() -> std::size_t {
+    std::size_t winner = rng.index(pop.size());
+    for (int t = 1; t < options.tournament; ++t) {
+      const std::size_t rival = rng.index(pop.size());
+      if (fitness[rival] > fitness[winner]) winner = rival;
+    }
+    return winner;
+  };
+
+  double best_fit = -std::numeric_limits<double>::infinity();
+  std::vector<std::size_t> best_order;
+  int stagnant = 0;
+  for (int gen = 0; gen < options.generations && stagnant < options.stagnation_limit;
+       ++gen) {
+    // Track the elite.
+    for (std::size_t i = 0; i < pop.size(); ++i) {
+      if (fitness[i] > best_fit) {
+        best_fit = fitness[i];
+        best_order = pop[i];
+        stagnant = -1;
+      }
+    }
+    ++stagnant;
+    // Next generation: elitism + offspring.
+    std::vector<std::vector<std::size_t>> next;
+    std::vector<double> next_fit;
+    next.push_back(best_order);
+    next_fit.push_back(best_fit);
+    while (next.size() < pop.size()) {
+      const auto& pa = pop[tournament_pick()];
+      const auto& pb = pop[tournament_pick()];
+      auto child = detail::order_crossover(pa, pb, rng);
+      if (rng.uniform() < options.mutation_rate) detail::mutate(child, rng);
+      next_fit.push_back(evaluate(child));
+      next.push_back(std::move(child));
+    }
+    pop = std::move(next);
+    fitness = std::move(next_fit);
+  }
+  for (std::size_t i = 0; i < pop.size(); ++i)
+    if (fitness[i] > best_fit) {
+      best_fit = fitness[i];
+      best_order = pop[i];
+    }
+  return detail::cluster_dp(inst, best_order);
+}
+
+/// Pure greedy baseline (used by ablation bench E3).
+[[nodiscard]] inline GtspSolution solve_gtsp_greedy(const GtspInstance& inst,
+                                                    Rng& rng) {
+  if (inst.clusters.empty()) return {};
+  return detail::cluster_dp(inst, detail::greedy_seed(inst, 0, rng));
+}
+
+/// Random-order baseline (ablation lower bar).
+[[nodiscard]] inline GtspSolution solve_gtsp_random(const GtspInstance& inst,
+                                                    Rng& rng, int tries = 50) {
+  const std::size_t m = inst.clusters.size();
+  GtspSolution best;
+  best.value = -std::numeric_limits<double>::infinity();
+  std::vector<std::size_t> order(m);
+  for (std::size_t i = 0; i < m; ++i) order[i] = i;
+  for (int t = 0; t < tries; ++t) {
+    rng.shuffle(order);
+    GtspSolution sol = detail::cluster_dp(inst, order);
+    if (sol.value > best.value) best = std::move(sol);
+  }
+  return best;
+}
+
+}  // namespace femto::opt

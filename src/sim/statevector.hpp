@@ -1,0 +1,271 @@
+// Statevector simulator.
+//
+// Little-endian convention: qubit q is bit q of the basis index. Supports
+// every femto gate, direct Pauli-string exponentials (for fast exact ansatz
+// application), PauliSum expectation values and H|psi> products (for VQE
+// energies, adjoint gradients and Lanczos).
+#pragma once
+
+#include <complex>
+#include <span>
+#include <vector>
+
+#include "circuit/quantum_circuit.hpp"
+#include "pauli/pauli_sum.hpp"
+
+namespace femto::sim {
+
+using Complex = std::complex<double>;
+
+class StateVector {
+ public:
+  explicit StateVector(std::size_t n)
+      : n_(n), amps_(std::size_t{1} << n, Complex{0.0, 0.0}) {
+    FEMTO_EXPECTS(n <= 28);
+    amps_[0] = 1.0;
+  }
+
+  /// Computational basis state |index>.
+  [[nodiscard]] static StateVector basis_state(std::size_t n,
+                                               std::size_t index) {
+    StateVector sv(n);
+    FEMTO_EXPECTS(index < sv.amps_.size());
+    sv.amps_[0] = 0.0;
+    sv.amps_[index] = 1.0;
+    return sv;
+  }
+
+  [[nodiscard]] std::size_t num_qubits() const { return n_; }
+  [[nodiscard]] std::size_t dim() const { return amps_.size(); }
+  [[nodiscard]] const std::vector<Complex>& amplitudes() const { return amps_; }
+  [[nodiscard]] std::vector<Complex>& amplitudes() { return amps_; }
+  [[nodiscard]] Complex amplitude(std::size_t i) const { return amps_[i]; }
+
+  // --- single-qubit and two-qubit gates -------------------------------
+
+  void apply_matrix1(std::size_t q, Complex m00, Complex m01, Complex m10,
+                     Complex m11) {
+    const std::size_t bit = std::size_t{1} << q;
+    for (std::size_t i = 0; i < amps_.size(); ++i) {
+      if (i & bit) continue;
+      const Complex a0 = amps_[i];
+      const Complex a1 = amps_[i | bit];
+      amps_[i] = m00 * a0 + m01 * a1;
+      amps_[i | bit] = m10 * a0 + m11 * a1;
+    }
+  }
+
+  void apply_cnot(std::size_t c, std::size_t t) {
+    const std::size_t cb = std::size_t{1} << c;
+    const std::size_t tb = std::size_t{1} << t;
+    for (std::size_t i = 0; i < amps_.size(); ++i)
+      if ((i & cb) && !(i & tb)) std::swap(amps_[i], amps_[i | tb]);
+  }
+
+  void apply_cz(std::size_t a, std::size_t b) {
+    const std::size_t mask = (std::size_t{1} << a) | (std::size_t{1} << b);
+    for (std::size_t i = 0; i < amps_.size(); ++i)
+      if ((i & mask) == mask) amps_[i] = -amps_[i];
+  }
+
+  void apply_swap(std::size_t a, std::size_t b) {
+    const std::size_t ab = std::size_t{1} << a;
+    const std::size_t bb = std::size_t{1} << b;
+    for (std::size_t i = 0; i < amps_.size(); ++i)
+      if ((i & ab) && !(i & bb)) std::swap(amps_[i], amps_[(i ^ ab) | bb]);
+  }
+
+  /// exp(-i angle/2 X@X).
+  void apply_xxrot(std::size_t a, std::size_t b, double angle) {
+    const std::size_t mask = (std::size_t{1} << a) | (std::size_t{1} << b);
+    const double c = std::cos(angle / 2), s = std::sin(angle / 2);
+    for (std::size_t i = 0; i < amps_.size(); ++i) {
+      const std::size_t j = i ^ mask;
+      if (j < i) continue;
+      const Complex ai = amps_[i], aj = amps_[j];
+      amps_[i] = c * ai - Complex(0, s) * aj;
+      amps_[j] = c * aj - Complex(0, s) * ai;
+    }
+  }
+
+  /// exp(-i angle/2 (X@X + Y@Y)): rotation inside the {01,10} subspace.
+  void apply_xyrot(std::size_t a, std::size_t b, double angle) {
+    const std::size_t ab = std::size_t{1} << a;
+    const std::size_t bb = std::size_t{1} << b;
+    const double c = std::cos(angle), s = std::sin(angle);
+    for (std::size_t i = 0; i < amps_.size(); ++i) {
+      if (!(i & ab) || (i & bb)) continue;  // i has a=1, b=0
+      const std::size_t j = (i ^ ab) | bb;  // a=0, b=1
+      const Complex ai = amps_[i], aj = amps_[j];
+      amps_[i] = c * ai - Complex(0, s) * aj;
+      amps_[j] = c * aj - Complex(0, s) * ai;
+    }
+  }
+
+  // --- circuits --------------------------------------------------------
+
+  void apply_gate(const circuit::Gate& g,
+                  std::span<const double> params = {}) {
+    using circuit::GateKind;
+    const double angle =
+        g.param >= 0
+            ? g.angle * params[static_cast<std::size_t>(g.param)]
+            : g.angle;
+    const double half = angle / 2;
+    const Complex i_unit{0.0, 1.0};
+    switch (g.kind) {
+      case GateKind::kX: apply_matrix1(g.q0, 0, 1, 1, 0); break;
+      case GateKind::kY: apply_matrix1(g.q0, 0, -i_unit, i_unit, 0); break;
+      case GateKind::kZ: apply_matrix1(g.q0, 1, 0, 0, -1); break;
+      case GateKind::kH: {
+        const double s = 1.0 / std::sqrt(2.0);
+        apply_matrix1(g.q0, s, s, s, -s);
+        break;
+      }
+      case GateKind::kS: apply_matrix1(g.q0, 1, 0, 0, i_unit); break;
+      case GateKind::kSdg: apply_matrix1(g.q0, 1, 0, 0, -i_unit); break;
+      case GateKind::kRz:
+        apply_matrix1(g.q0, std::exp(-i_unit * half), 0, 0,
+                      std::exp(i_unit * half));
+        break;
+      case GateKind::kRx:
+        apply_matrix1(g.q0, std::cos(half), -i_unit * std::sin(half),
+                      -i_unit * std::sin(half), std::cos(half));
+        break;
+      case GateKind::kRy:
+        apply_matrix1(g.q0, std::cos(half), -std::sin(half), std::sin(half),
+                      std::cos(half));
+        break;
+      case GateKind::kCnot: apply_cnot(g.q0, g.q1); break;
+      case GateKind::kCz: apply_cz(g.q0, g.q1); break;
+      case GateKind::kSwap: apply_swap(g.q0, g.q1); break;
+      case GateKind::kXXrot: apply_xxrot(g.q0, g.q1, angle); break;
+      case GateKind::kXYrot: apply_xyrot(g.q0, g.q1, angle); break;
+    }
+  }
+
+  void apply_circuit(const circuit::QuantumCircuit& c,
+                     std::span<const double> params = {}) {
+    FEMTO_EXPECTS(c.num_qubits() <= n_);
+    for (const circuit::Gate& g : c.gates()) apply_gate(g, params);
+  }
+
+  // --- Pauli strings ---------------------------------------------------
+
+  /// exp(-i angle/2 P) for a Hermitian string P (letter sign +-1 folded in).
+  void apply_pauli_exp(const pauli::PauliString& p, double angle) {
+    FEMTO_EXPECTS(p.num_qubits() == n_);
+    FEMTO_EXPECTS(p.is_hermitian());
+    const double sgn = p.sign().real();
+    const double half = sgn * angle / 2;
+    const StringMasks m = masks(p);
+    const double c = std::cos(half), s = std::sin(half);
+    const Complex mis{0.0, -s};
+    if (m.x == 0) {
+      for (std::size_t i = 0; i < amps_.size(); ++i)
+        amps_[i] *= Complex(c, 0) + mis * m.phase(i);
+      return;
+    }
+    for (std::size_t i = 0; i < amps_.size(); ++i) {
+      const std::size_t j = i ^ m.x;
+      if (j < i) continue;
+      // L|i> = p_i |j>, L|j> = p_j |i>, with p_i p_j = 1.
+      const Complex pi = m.phase(i);
+      const Complex pj = m.phase(j);
+      const Complex ai = amps_[i], aj = amps_[j];
+      amps_[i] = c * ai + mis * pj * aj;
+      amps_[j] = c * aj + mis * pi * ai;
+    }
+  }
+
+  /// out += coeff * P |this>.
+  void accumulate_pauli(const pauli::PauliString& p, Complex coeff,
+                        std::vector<Complex>& out) const {
+    FEMTO_EXPECTS(out.size() == amps_.size());
+    const StringMasks m = masks(p);
+    const Complex c = coeff * p.sign();
+    for (std::size_t i = 0; i < amps_.size(); ++i) {
+      const std::size_t j = i ^ m.x;
+      // P|i> = phase(i) |j>  =>  (P psi)[j] += phase(i) psi[i]
+      out[j] += c * m.phase(i) * amps_[i];
+    }
+  }
+
+  /// H |this> for a PauliSum H.
+  [[nodiscard]] std::vector<Complex> apply_sum(const pauli::PauliSum& h) const {
+    std::vector<Complex> out(amps_.size(), Complex{0.0, 0.0});
+    for (const pauli::PauliTerm& t : h.terms())
+      accumulate_pauli(t.string, t.coefficient, out);
+    return out;
+  }
+
+  /// <this| H |this>.
+  [[nodiscard]] Complex expectation(const pauli::PauliSum& h) const {
+    const std::vector<Complex> hpsi = apply_sum(h);
+    Complex acc{0.0, 0.0};
+    for (std::size_t i = 0; i < amps_.size(); ++i)
+      acc += std::conj(amps_[i]) * hpsi[i];
+    return acc;
+  }
+
+  [[nodiscard]] Complex inner(const StateVector& other) const {
+    FEMTO_EXPECTS(other.dim() == dim());
+    Complex acc{0.0, 0.0};
+    for (std::size_t i = 0; i < amps_.size(); ++i)
+      acc += std::conj(amps_[i]) * other.amps_[i];
+    return acc;
+  }
+
+  [[nodiscard]] double norm() const {
+    double acc = 0.0;
+    for (const Complex& a : amps_) acc += std::norm(a);
+    return std::sqrt(acc);
+  }
+
+  void normalize() {
+    const double n = norm();
+    FEMTO_EXPECTS(n > 0);
+    for (Complex& a : amps_) a /= n;
+  }
+
+ private:
+  [[nodiscard]] static std::size_t mask_of(const gf2::BitVec& v) {
+    std::size_t mask = 0;
+    for (std::size_t q = 0; q < v.size(); ++q)
+      if (v.get(q)) mask |= std::size_t{1} << q;
+    return mask;
+  }
+
+  /// Precomputed bit masks of a string for O(1) per-index phases.
+  /// Letter action on |i>: X -> 1, Y -> i(-1)^bit, Z -> (-1)^bit, so
+  /// phase(i) = i^{#Y} * (-1)^{popcount(i & zmask)} (letter sign excluded;
+  /// callers fold it in).
+  struct StringMasks {
+    std::size_t x = 0;  // bit-flip mask (X and Y sites)
+    std::size_t z = 0;  // phase mask (Z and Y sites)
+    Complex y_factor{1.0, 0.0};  // i^{#Y}
+
+    [[nodiscard]] Complex phase(std::size_t i) const {
+      const bool minus = __builtin_popcountll(i & z) & 1;
+      return minus ? -y_factor : y_factor;
+    }
+  };
+
+  [[nodiscard]] static StringMasks masks(const pauli::PauliString& p) {
+    StringMasks m;
+    m.x = mask_of(p.x());
+    m.z = mask_of(p.z());
+    switch ((p.x() & p.z()).popcount() & 3) {
+      case 1: m.y_factor = Complex(0, 1); break;
+      case 2: m.y_factor = Complex(-1, 0); break;
+      case 3: m.y_factor = Complex(0, -1); break;
+      default: break;
+    }
+    return m;
+  }
+
+  std::size_t n_;
+  std::vector<Complex> amps_;
+};
+
+}  // namespace femto::sim

@@ -1,0 +1,92 @@
+// The CNOT-counting cost model of Sec. III-B.
+//
+// A Pauli string of weight w, exponentiated with the Fig. 3(b) template,
+// costs 2(w-1) CNOTs. When two blocks [P1,t1] and [P2,t2] are implemented
+// back to back with t1 == t2 == t, CNOTs cancel at the interface:
+//
+//   saving = sum_i omega_i  over non-target qubits i, where
+//   omega_i = 0  if either string is I at i,
+//   omega_i = 2  if the target collision (P1_t, P2_t) is one of
+//                {XX, YY, ZZ, XY, YX} *and* P1_i == P2_i,
+//   omega_i = 1  otherwise.
+//
+// The omega=2 case is full cancellation of the CNOT pair on wire i (the
+// inter-block basis changes commute through); omega=1 merges the pair into a
+// single CNOT-equivalent entangler (an XX rotation at a Clifford angle).
+// These weights are exactly the GTSP edge weights of the paper.
+#pragma once
+
+#include <vector>
+
+#include "pauli/pauli_string.hpp"
+
+namespace femto::synth {
+
+/// CNOT cost of exponentiating one string in isolation: 2(w-1), 0 for w<=1.
+[[nodiscard]] inline int string_cost(const pauli::PauliString& p) {
+  const int w = static_cast<int>(p.weight());
+  return w <= 1 ? 0 : 2 * (w - 1);
+}
+
+/// True when the inter-block gate on the target wire commutes through the
+/// CNOT ladders: collisions XX, YY, ZZ (identity diff) and XY, YX (X-axis
+/// rotation diff).
+[[nodiscard]] inline bool target_collision_good(pauli::Letter a,
+                                                pauli::Letter b) {
+  using pauli::Letter;
+  if (a == b) return true;
+  return (a == Letter::X && b == Letter::Y) ||
+         (a == Letter::Y && b == Letter::X);
+}
+
+/// Interface CNOT saving between consecutive blocks [p1,t1] then [p2,t2].
+/// Zero unless the targets coincide. Requires both strings non-identity at
+/// their own target (guaranteed for valid target choices).
+[[nodiscard]] inline int interface_saving(const pauli::PauliString& p1,
+                                          std::size_t t1,
+                                          const pauli::PauliString& p2,
+                                          std::size_t t2) {
+  using pauli::Letter;
+  if (t1 != t2) return 0;
+  FEMTO_EXPECTS(p1.num_qubits() == p2.num_qubits());
+  FEMTO_EXPECTS(p1.letter(t1) != Letter::I && p2.letter(t2) != Letter::I);
+  const bool good_target = target_collision_good(p1.letter(t1), p2.letter(t1));
+  int saving = 0;
+  for (std::size_t q = 0; q < p1.num_qubits(); ++q) {
+    if (q == t1) continue;
+    const Letter a = p1.letter(q);
+    const Letter b = p2.letter(q);
+    if (a == Letter::I || b == Letter::I) continue;  // omega = 0
+    if (good_target && a == b)
+      saving += 2;  // omega = 2
+    else
+      saving += 1;  // omega = 1
+  }
+  return saving;
+}
+
+/// One rotation block of a synthesized sequence: exp(-i angle/2 * string),
+/// where angle = angle_coeff (param < 0) or angle_coeff * theta[param].
+/// `target` must index a non-identity site of `string`.
+struct RotationBlock {
+  pauli::PauliString string;  // canonical letter form (sign folded into angle)
+  std::size_t target = 0;
+  double angle_coeff = 0.0;
+  int param = -1;
+};
+
+/// Model cost of an ordered sequence of blocks: sum of string costs minus
+/// interface savings between consecutive blocks.
+[[nodiscard]] inline int sequence_model_cost(
+    const std::vector<RotationBlock>& seq) {
+  int cost = 0;
+  for (std::size_t k = 0; k < seq.size(); ++k) {
+    cost += string_cost(seq[k].string);
+    if (k > 0)
+      cost -= interface_saving(seq[k - 1].string, seq[k - 1].target,
+                               seq[k].string, seq[k].target);
+  }
+  return cost;
+}
+
+}  // namespace femto::synth

@@ -1,0 +1,165 @@
+// Circuit synthesis for ordered sequences of Pauli-string exponentials.
+//
+// Each block exp(-i angle/2 P) uses the Fig. 3(b) template: per-site basis
+// changes into Z, a star ladder of CNOTs into the chosen target, an Rz, and
+// the reverse. Consecutive blocks sharing a target are *merged* at the
+// interface:
+//   - wires with equal letters: ladder CNOT pair and basis changes vanish
+//     (the model's omega = 2),
+//   - wires with differing letters: the CNOT pair plus the basis difference
+//     B = Rz(a) Rx(b) Rz(g) collapses to Rz(g), exp(-i b/2 X@X), Rz(a) --
+//     one Clifford-angle XX rotation, i.e. one CNOT-equivalent (omega = 1).
+// The merge requires the target-wire basis difference to commute through the
+// ladders (target collisions XX, YY, ZZ, XY, YX); otherwise blocks are
+// closed and reopened without merging, which can exceed the model count --
+// reported counts distinguish "model" from "emitted".
+#pragma once
+
+#include <vector>
+
+#include "circuit/peephole.hpp"
+#include "circuit/quantum_circuit.hpp"
+#include "synth/cost_model.hpp"
+#include "synth/su2.hpp"
+
+namespace femto::synth {
+
+enum class MergePolicy {
+  kNone,   // close/reopen every block (cost = sum 2(w-1))
+  kMerge,  // merge good-target interfaces (achieves the model cost there)
+};
+
+namespace detail {
+
+using circuit::Gate;
+using pauli::Letter;
+
+/// Emits the basis-change V_sigma (time order) rotating sigma into Z.
+inline void emit_basis_in(circuit::PeepholeBuilder& out, std::size_t q,
+                          Letter sigma) {
+  switch (sigma) {
+    case Letter::X: out.push(Gate::h(q)); break;
+    case Letter::Y:
+      out.push(Gate::sdg(q));
+      out.push(Gate::h(q));
+      break;
+    default: break;
+  }
+}
+
+/// Emits V_sigma^dag.
+inline void emit_basis_out(circuit::PeepholeBuilder& out, std::size_t q,
+                           Letter sigma) {
+  switch (sigma) {
+    case Letter::X: out.push(Gate::h(q)); break;
+    case Letter::Y:
+      out.push(Gate::h(q));
+      out.push(Gate::s(q));
+      break;
+    default: break;
+  }
+}
+
+/// Opens a block: basis changes, then the CNOT star into the target.
+inline void emit_open(circuit::PeepholeBuilder& out, const RotationBlock& b) {
+  const auto& p = b.string;
+  for (std::size_t q = 0; q < p.num_qubits(); ++q)
+    if (p.letter(q) != Letter::I) emit_basis_in(out, q, p.letter(q));
+  for (std::size_t q = 0; q < p.num_qubits(); ++q)
+    if (q != b.target && p.letter(q) != Letter::I)
+      out.push(Gate::cnot(q, b.target));
+}
+
+/// Closes a block: reverse ladder, then inverse basis changes.
+inline void emit_close(circuit::PeepholeBuilder& out, const RotationBlock& b) {
+  const auto& p = b.string;
+  for (std::size_t q = p.num_qubits(); q-- > 0;)
+    if (q != b.target && p.letter(q) != Letter::I)
+      out.push(Gate::cnot(q, b.target));
+  for (std::size_t q = 0; q < p.num_qubits(); ++q)
+    if (p.letter(q) != Letter::I) emit_basis_out(out, q, p.letter(q));
+}
+
+/// Emits the merged interface between prev and cur (same target t, good
+/// target collision).
+inline void emit_merged_interface(circuit::PeepholeBuilder& out,
+                                  const RotationBlock& prev,
+                                  const RotationBlock& cur) {
+  const std::size_t t = prev.target;
+  const std::size_t n = prev.string.num_qubits();
+  // 1. Close prev-only wires.
+  for (std::size_t q = 0; q < n; ++q) {
+    if (q == t) continue;
+    const Letter a = prev.string.letter(q);
+    const Letter b = cur.string.letter(q);
+    if (a != Letter::I && b == Letter::I) {
+      out.push(Gate::cnot(q, t));
+      emit_basis_out(out, q, a);
+    }
+  }
+  // 2. Target-wire basis difference (commutes through the ladders by the
+  // good-collision precondition).
+  {
+    const Letter a = prev.string.letter(t);
+    const Letter b = cur.string.letter(t);
+    if (a != b) {
+      emit_basis_out(out, t, a);
+      emit_basis_in(out, t, b);
+    }
+  }
+  // 3. Shared wires: equal letters need nothing; differing letters merge to
+  // Rz, XXrot (Clifford angle), Rz.
+  for (std::size_t q = 0; q < n; ++q) {
+    if (q == t) continue;
+    const Letter a = prev.string.letter(q);
+    const Letter b = cur.string.letter(q);
+    if (a == Letter::I || b == Letter::I || a == b) continue;
+    const Mat2 diff = basis_change(b) * basis_change(a).adjoint();
+    const EulerZXZ e = euler_zxz(diff);
+    if (std::abs(e.gamma) > 1e-12) out.push(Gate::rz(q, e.gamma));
+    if (std::abs(e.beta) > 1e-12) out.push(Gate::xxrot(q, t, e.beta));
+    if (std::abs(e.alpha) > 1e-12) out.push(Gate::rz(q, e.alpha));
+  }
+  // 4. Open cur-only wires.
+  for (std::size_t q = 0; q < n; ++q) {
+    if (q == t) continue;
+    const Letter a = prev.string.letter(q);
+    const Letter b = cur.string.letter(q);
+    if (a == Letter::I && b != Letter::I) {
+      emit_basis_in(out, q, b);
+      out.push(Gate::cnot(q, t));
+    }
+  }
+}
+
+}  // namespace detail
+
+/// Synthesizes an ordered block sequence into a circuit.
+[[nodiscard]] inline circuit::QuantumCircuit synthesize_sequence(
+    std::size_t n, const std::vector<RotationBlock>& seq,
+    MergePolicy policy = MergePolicy::kMerge) {
+  circuit::PeepholeBuilder out(n);
+  const RotationBlock* prev = nullptr;
+  for (const RotationBlock& b : seq) {
+    FEMTO_EXPECTS(b.string.num_qubits() == n);
+    FEMTO_EXPECTS(b.string.letter(b.target) != pauli::Letter::I);
+    FEMTO_EXPECTS(b.string.sign() == pauli::Complex(1.0, 0.0));
+    const bool merge =
+        policy == MergePolicy::kMerge && prev != nullptr &&
+        prev->target == b.target &&
+        target_collision_good(prev->string.letter(b.target),
+                              b.string.letter(b.target));
+    if (merge)
+      detail::emit_merged_interface(out, *prev, b);
+    else {
+      if (prev != nullptr) detail::emit_close(out, *prev);
+      detail::emit_open(out, b);
+    }
+    out.push(circuit::Gate::rz(b.target, b.angle_coeff, b.param));
+    prev = &b;
+  }
+  if (prev != nullptr) detail::emit_close(out, *prev);
+  return out.take();
+}
+
+}  // namespace femto::synth

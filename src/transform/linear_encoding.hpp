@@ -1,0 +1,142 @@
+// Fermion-to-qubit transformations as linear encodings.
+//
+// A linear encoding is defined by an invertible matrix A over GF(2): the
+// fermionic occupation vector n is stored on qubits as the basis state |An>.
+// Operators are the Jordan-Wigner images conjugated by the CNOT network
+// U_A realizing |x> -> |Ax>:
+//   A = I        -> Jordan-Wigner,
+//   A = Fenwick  -> Bravyi-Kitaev,
+//   A = prefix   -> parity encoding,
+//   A arbitrary  -> the paper's generalized transformation Gamma (Sec. III-C).
+// This uniform view is exactly the GL(N,2) search space the paper explores.
+#pragma once
+
+#include <vector>
+
+#include "fermion/operators.hpp"
+#include "gf2/linear_synthesis.hpp"
+#include "gf2/matrix.hpp"
+#include "pauli/clifford_map.hpp"
+#include "pauli/pauli_sum.hpp"
+
+namespace femto::transform {
+
+/// Jordan-Wigner image of one ladder operator:
+///   a_j     = Z_0..Z_{j-1} (X_j + iY_j)/2
+///   a_j^dag = Z_0..Z_{j-1} (X_j - iY_j)/2
+[[nodiscard]] inline pauli::PauliSum jw_ladder(std::size_t n, std::size_t mode,
+                                               bool dagger) {
+  FEMTO_EXPECTS(mode < n);
+  pauli::PauliString xs(n);
+  pauli::PauliString ys(n);
+  for (std::size_t k = 0; k < mode; ++k) {
+    xs.set_letter(k, pauli::Letter::Z);
+    ys.set_letter(k, pauli::Letter::Z);
+  }
+  xs.set_letter(mode, pauli::Letter::X);
+  ys.set_letter(mode, pauli::Letter::Y);
+  pauli::PauliSum sum(n);
+  sum.add({0.5, 0.0}, xs);
+  sum.add({0.0, dagger ? -0.5 : 0.5}, ys);
+  return sum;
+}
+
+/// Jordan-Wigner image of a general fermionic operator.
+[[nodiscard]] inline pauli::PauliSum jw_map(std::size_t n,
+                                            const fermion::FermionOperator& op) {
+  pauli::PauliSum total(n);
+  for (const fermion::FermionTerm& term : op.terms()) {
+    pauli::PauliSum prod =
+        pauli::PauliSum::from_term(term.coefficient,
+                                   pauli::PauliString::identity(n));
+    for (const fermion::LadderOp& l : term.ops)
+      prod = prod * jw_ladder(n, l.mode, l.dagger);
+    total.add(prod);
+  }
+  total.prune();
+  return total;
+}
+
+/// Linear encoding |n> -> |An> with cached inverse, CNOT network and
+/// Clifford conjugation map.
+class LinearEncoding {
+ public:
+  explicit LinearEncoding(gf2::Matrix a)
+      : a_(std::move(a)),
+        a_inv_t_([&] {
+          auto inv = a_.inverse();
+          FEMTO_EXPECTS(inv.has_value());
+          return inv->transpose();
+        }()),
+        network_(gf2::synthesize_pmh(a_)),
+        clifford_(pauli::CliffordMap::from_cnot_network(a_.size(), network_)) {}
+
+  [[nodiscard]] static LinearEncoding jordan_wigner(std::size_t n) {
+    return LinearEncoding(gf2::Matrix::identity(n));
+  }
+
+  /// Bravyi-Kitaev: qubit i (1-based Fenwick index) stores the parity of
+  /// occupations over the Fenwick range (i - lowbit(i), i].
+  [[nodiscard]] static LinearEncoding bravyi_kitaev(std::size_t n) {
+    gf2::Matrix a(n);
+    for (std::size_t i1 = 1; i1 <= n; ++i1) {
+      const std::size_t low = i1 & (~i1 + 1);  // lowbit
+      for (std::size_t k1 = i1 - low + 1; k1 <= i1; ++k1)
+        a.set(i1 - 1, k1 - 1, true);
+    }
+    return LinearEncoding(std::move(a));
+  }
+
+  /// Parity encoding: qubit i stores the prefix parity n_0 + ... + n_i.
+  [[nodiscard]] static LinearEncoding parity(std::size_t n) {
+    gf2::Matrix a(n);
+    for (std::size_t r = 0; r < n; ++r)
+      for (std::size_t c = 0; c <= r; ++c) a.set(r, c, true);
+    return LinearEncoding(std::move(a));
+  }
+
+  [[nodiscard]] std::size_t num_qubits() const { return a_.size(); }
+  [[nodiscard]] const gf2::Matrix& matrix() const { return a_; }
+  [[nodiscard]] const std::vector<gf2::CnotGate>& network() const {
+    return network_;
+  }
+
+  /// Encoded qubit basis state for a fermionic occupation vector.
+  [[nodiscard]] gf2::BitVec encode_occupation(const gf2::BitVec& occ) const {
+    return a_.apply(occ);
+  }
+
+  /// Full operator transformation: JW, then conjugation by U_A (exact
+  /// phases via the Clifford map).
+  [[nodiscard]] pauli::PauliSum map(const fermion::FermionOperator& op) const {
+    const pauli::PauliSum jw = jw_map(a_.size(), op);
+    pauli::PauliSum out(a_.size());
+    for (const pauli::PauliTerm& t : jw.terms())
+      out.add(t.coefficient, clifford_.apply(t.string));
+    out.prune();
+    return out;
+  }
+
+  /// Transforms a single JW string (exact phase).
+  [[nodiscard]] pauli::PauliString map_string(const pauli::PauliString& p) const {
+    return clifford_.apply(p);
+  }
+
+  /// Fast support-only transformation x' = A x, z' = A^-T z. The phase is
+  /// *not* tracked -- only valid for cost evaluation (CNOT counting) inside
+  /// annealing loops.
+  [[nodiscard]] pauli::PauliString map_string_support(
+      const pauli::PauliString& p) const {
+    pauli::PauliString out(a_.size());
+    out.set_symplectic(a_.apply(p.x()), a_inv_t_.apply(p.z()));
+    return out;
+  }
+
+ private:
+  gf2::Matrix a_;
+  gf2::Matrix a_inv_t_;
+  std::vector<gf2::CnotGate> network_;
+  pauli::CliffordMap clifford_;
+};
+
+}  // namespace femto::transform

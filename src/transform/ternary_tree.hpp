@@ -1,0 +1,102 @@
+// Ternary-tree fermion-to-qubit transformation (Jiang, Kalev, Mruczkiewicz,
+// Neven, Quantum 4, 276 (2020)) -- the paper's reference [17], cited as the
+// asymptotically optimal mapping and a Discussion (Sec. V) direction.
+//
+// Construction: qubits form a balanced ternary tree; each root-to-leaf path
+// defines a Pauli string (X on the child-0 edge, Y on child-1, Z on
+// child-2, identity elsewhere). A tree with n internal nodes (qubits) has
+// 2n+1 leaves, yielding 2n+1 mutually anticommuting strings; the first 2n
+// serve as Majorana operators gamma_0..gamma_{2n-1}:
+//   c_j = (gamma_{2j} + i gamma_{2j+1}) / 2.
+// Average string weight is O(log3 n), beating Jordan-Wigner's O(n) and
+// Bravyi-Kitaev's O(log2 n).
+//
+// Unlike the linear encodings, the ternary-tree vacuum is not a
+// computational basis state, so this transform serves operator-weight
+// analysis and dynamics rather than the HF-referenced VQE pipeline (which
+// the paper also notes stays within GL(N,2) conjugations of JW).
+#pragma once
+
+#include <vector>
+
+#include "fermion/operators.hpp"
+#include "pauli/pauli_sum.hpp"
+
+namespace femto::transform {
+
+class TernaryTree {
+ public:
+  /// Builds the balanced ternary tree over n qubits (n >= 1).
+  explicit TernaryTree(std::size_t n) : n_(n) {
+    FEMTO_EXPECTS(n >= 1);
+    // Node q's children are 3q+1, 3q+2, 3q+3 when < n; otherwise leaves.
+    // Enumerate root-to-leaf paths in leaf order.
+    std::vector<std::vector<std::pair<std::size_t, int>>> paths;
+    build_paths(0, {}, paths);
+    FEMTO_ASSERT(paths.size() == 2 * n + 1);
+    majoranas_.reserve(2 * n);
+    for (std::size_t m = 0; m < 2 * n; ++m) {
+      pauli::PauliString s(n);
+      for (const auto& [node, branch] : paths[m]) {
+        const pauli::Letter letter = branch == 0   ? pauli::Letter::X
+                                     : branch == 1 ? pauli::Letter::Y
+                                                   : pauli::Letter::Z;
+        s.set_letter(node, letter);
+      }
+      majoranas_.push_back(std::move(s));
+    }
+  }
+
+  [[nodiscard]] std::size_t num_qubits() const { return n_; }
+
+  /// Majorana operator gamma_m as a Pauli string (Hermitian, sign +1).
+  [[nodiscard]] const pauli::PauliString& majorana(std::size_t m) const {
+    FEMTO_EXPECTS(m < majoranas_.size());
+    return majoranas_[m];
+  }
+
+  /// Ladder operator a_j = (gamma_{2j} + i gamma_{2j+1})/2 (or a_j^dag with
+  /// the sign flipped).
+  [[nodiscard]] pauli::PauliSum ladder(std::size_t mode, bool dagger) const {
+    FEMTO_EXPECTS(2 * mode + 1 < majoranas_.size());
+    pauli::PauliSum sum(n_);
+    sum.add({0.5, 0.0}, majoranas_[2 * mode]);
+    sum.add({0.0, dagger ? -0.5 : 0.5}, majoranas_[2 * mode + 1]);
+    return sum;
+  }
+
+  /// Full operator transformation.
+  [[nodiscard]] pauli::PauliSum map(const fermion::FermionOperator& op) const {
+    pauli::PauliSum total(n_);
+    for (const fermion::FermionTerm& term : op.terms()) {
+      pauli::PauliSum prod = pauli::PauliSum::from_term(
+          term.coefficient, pauli::PauliString::identity(n_));
+      for (const fermion::LadderOp& l : term.ops)
+        prod = prod * ladder(l.mode, l.dagger);
+      total.add(prod);
+    }
+    total.prune();
+    return total;
+  }
+
+ private:
+  void build_paths(std::size_t node,
+                   std::vector<std::pair<std::size_t, int>> prefix,
+                   std::vector<std::vector<std::pair<std::size_t, int>>>& out)
+      const {
+    for (int branch = 0; branch < 3; ++branch) {
+      auto path = prefix;
+      path.push_back({node, branch});
+      const std::size_t child = 3 * node + static_cast<std::size_t>(branch) + 1;
+      if (child < n_)
+        build_paths(child, std::move(path), out);
+      else
+        out.push_back(std::move(path));
+    }
+  }
+
+  std::size_t n_;
+  std::vector<pauli::PauliString> majoranas_;
+};
+
+}  // namespace femto::transform

@@ -1,0 +1,38 @@
+// End-to-end HMP2 term selection: candidate UCCSD pool statically ranked by
+// MP2 estimates, then adaptively re-selected by the second-order energy
+// gradient at the optimized state of each cycle ([9]'s HMP2; paper Fig. 1
+// Box 2).
+#pragma once
+
+#include <vector>
+
+#include "chem/mo_integrals.hpp"
+#include "transform/linear_encoding.hpp"
+#include "vqe/driver.hpp"
+#include "vqe/uccsd.hpp"
+
+namespace femto::vqe {
+
+/// The first `max_terms` excitation terms chosen by the adaptive HMP2 loop,
+/// in selection order. `pool_cap` bounds the candidate pool (top of the
+/// static MP2 ranking) to keep each cycle cheap.
+[[nodiscard]] inline std::vector<fermion::ExcitationTerm> hmp2_adaptive_terms(
+    const chem::SpinOrbitalIntegrals& so, std::size_t max_terms,
+    std::size_t pool_cap = 64, const OptimizerOptions& options = {}) {
+  std::vector<fermion::ExcitationTerm> pool = uccsd_hmp2_terms(so);
+  if (pool.size() > pool_cap) pool.resize(pool_cap);
+  const auto enc = transform::LinearEncoding::jordan_wigner(so.n);
+  std::vector<pauli::PauliSum> candidates;
+  candidates.reserve(pool.size());
+  for (const auto& t : pool) candidates.push_back(enc.map(t.generator()));
+  const pauli::PauliSum hq = enc.map(chem::build_hamiltonian(so));
+  const std::size_t hf_index = (std::size_t{1} << so.nelec) - 1;
+  const std::vector<std::size_t> chosen = hmp2_adaptive_selection(
+      so.n, hq, candidates, hf_index, max_terms, options);
+  std::vector<fermion::ExcitationTerm> out;
+  out.reserve(chosen.size());
+  for (std::size_t k : chosen) out.push_back(pool[k]);
+  return out;
+}
+
+}  // namespace femto::vqe

@@ -1,0 +1,151 @@
+// Tests for the gate IR and the peephole optimizer.
+#include <gtest/gtest.h>
+
+#include "circuit/peephole.hpp"
+#include "circuit/quantum_circuit.hpp"
+#include "common/rng.hpp"
+#include "sim/unitary.hpp"
+
+namespace femto::circuit {
+namespace {
+
+TEST(Gate, CnotCosts) {
+  EXPECT_EQ(Gate::cnot(0, 1).cnot_cost(), 1);
+  EXPECT_EQ(Gate::cz(0, 1).cnot_cost(), 1);
+  EXPECT_EQ(Gate::swap(0, 1).cnot_cost(), 3);
+  EXPECT_EQ(Gate::h(0).cnot_cost(), 0);
+  EXPECT_EQ(Gate::xxrot(0, 1, M_PI / 2).cnot_cost(), 1);
+  EXPECT_EQ(Gate::xxrot(0, 1, -M_PI / 2).cnot_cost(), 1);
+  EXPECT_EQ(Gate::xxrot(0, 1, 0.3).cnot_cost(), 2);
+  EXPECT_EQ(Gate::xxrot(0, 1, 0.0).cnot_cost(), 0);
+  EXPECT_EQ(Gate::xyrot(0, 1, 0.7).cnot_cost(), 2);
+  EXPECT_EQ(Gate::xyrot(0, 1, 0.0).cnot_cost(), 0);
+}
+
+TEST(QuantumCircuit, StatsAndDepth) {
+  QuantumCircuit c(3);
+  c.append(Gate::h(0));
+  c.append(Gate::cnot(0, 1));
+  c.append(Gate::cnot(1, 2));
+  c.append(Gate::rz(2, 0.5));
+  EXPECT_EQ(c.cnot_count(), 2);
+  EXPECT_EQ(c.single_qubit_count(), 2u);
+  EXPECT_EQ(c.depth(), 4u);
+}
+
+TEST(QuantumCircuit, InverseIsInverse) {
+  Rng rng(5);
+  QuantumCircuit c(3);
+  c.append(Gate::h(0));
+  c.append(Gate::s(1));
+  c.append(Gate::cnot(0, 2));
+  c.append(Gate::rz(2, 0.37));
+  c.append(Gate::rx(1, -0.8));
+  c.append(Gate::xxrot(0, 1, 0.22));
+  QuantumCircuit id(3);
+  QuantumCircuit both = c;
+  both.append(c.inverse());
+  EXPECT_TRUE(sim::circuits_equivalent(both, id));
+}
+
+TEST(Peephole, CancelsInversePairs) {
+  QuantumCircuit c(2);
+  c.append(Gate::h(0));
+  c.append(Gate::h(0));
+  c.append(Gate::cnot(0, 1));
+  c.append(Gate::cnot(0, 1));
+  c.append(Gate::s(1));
+  c.append(Gate::sdg(1));
+  const QuantumCircuit opt = peephole_optimize(c);
+  EXPECT_TRUE(opt.empty());
+}
+
+TEST(Peephole, MergesRotations) {
+  QuantumCircuit c(1);
+  c.append(Gate::rz(0, 0.25));
+  c.append(Gate::rz(0, 0.5));
+  const QuantumCircuit opt = peephole_optimize(c);
+  ASSERT_EQ(opt.size(), 1u);
+  EXPECT_NEAR(opt.gates()[0].angle, 0.75, 1e-12);
+  // Opposite angles vanish entirely.
+  QuantumCircuit z(1);
+  z.append(Gate::rz(0, 0.25));
+  z.append(Gate::rz(0, -0.25));
+  EXPECT_TRUE(peephole_optimize(z).empty());
+}
+
+TEST(Peephole, CancelsThroughCommutingGates) {
+  // CNOT(0,1) Rz(0) CNOT(0,1): Rz on the control commutes, CNOTs cancel.
+  QuantumCircuit c(2);
+  c.append(Gate::cnot(0, 1));
+  c.append(Gate::rz(0, 0.7));
+  c.append(Gate::cnot(0, 1));
+  const QuantumCircuit opt = peephole_optimize(c);
+  EXPECT_EQ(opt.cnot_count(), 0);
+  ASSERT_EQ(opt.size(), 1u);
+  EXPECT_EQ(opt.gates()[0].kind, GateKind::kRz);
+}
+
+TEST(Peephole, CancelsThroughSharedTargetCnots) {
+  // CNOT(0,2) CNOT(1,2) CNOT(0,2): outer pair shares target 2 with the
+  // middle gate and must cancel.
+  QuantumCircuit c(3);
+  c.append(Gate::cnot(0, 2));
+  c.append(Gate::cnot(1, 2));
+  c.append(Gate::cnot(0, 2));
+  const QuantumCircuit opt = peephole_optimize(c);
+  EXPECT_EQ(opt.cnot_count(), 1);
+}
+
+TEST(Peephole, DoesNotCancelThroughBlockingGates) {
+  // CNOT(0,1) H(0) CNOT(0,1): H blocks, nothing cancels.
+  QuantumCircuit c(2);
+  c.append(Gate::cnot(0, 1));
+  c.append(Gate::h(0));
+  c.append(Gate::cnot(0, 1));
+  const QuantumCircuit opt = peephole_optimize(c);
+  EXPECT_EQ(opt.cnot_count(), 2);
+}
+
+TEST(Peephole, PreservesUnitaryOnRandomCircuits) {
+  Rng rng(29);
+  for (int rep = 0; rep < 25; ++rep) {
+    const std::size_t n = 3;
+    QuantumCircuit c(n);
+    for (int g = 0; g < 30; ++g) {
+      switch (rng.index(7)) {
+        case 0: c.append(Gate::h(rng.index(n))); break;
+        case 1: c.append(Gate::s(rng.index(n))); break;
+        case 2: c.append(Gate::sdg(rng.index(n))); break;
+        case 3: c.append(Gate::rz(rng.index(n), rng.uniform(-1, 1))); break;
+        case 4: c.append(Gate::x(rng.index(n))); break;
+        default: {
+          const std::size_t a = rng.index(n);
+          std::size_t b = rng.index(n);
+          if (a == b) b = (b + 1) % n;
+          c.append(Gate::cnot(a, b));
+        }
+      }
+    }
+    const QuantumCircuit opt = peephole_optimize(c);
+    EXPECT_LE(opt.size(), c.size());
+    EXPECT_TRUE(sim::circuits_equivalent(c, opt))
+        << "rep " << rep << "\noriginal:\n" << c.to_string()
+        << "optimized:\n" << opt.to_string();
+  }
+}
+
+TEST(Peephole, VariationalParamsMergeOnlySameParam) {
+  QuantumCircuit c(1);
+  c.append(Gate::rz(0, 1.0, 0));
+  c.append(Gate::rz(0, 0.5, 0));
+  c.append(Gate::rz(0, 1.0, 1));
+  const QuantumCircuit opt = peephole_optimize(c);
+  ASSERT_EQ(opt.size(), 2u);
+  EXPECT_NEAR(opt.gates()[0].angle, 1.5, 1e-12);
+  EXPECT_EQ(opt.gates()[0].param, 0);
+  EXPECT_EQ(opt.gates()[1].param, 1);
+}
+
+}  // namespace
+}  // namespace femto::circuit

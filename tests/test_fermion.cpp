@@ -1,0 +1,126 @@
+// Tests for fermionic operator algebra and excitation-term classification.
+#include <gtest/gtest.h>
+
+#include "fermion/excitation.hpp"
+#include "fermion/operators.hpp"
+
+namespace femto::fermion {
+namespace {
+
+TEST(FermionOperator, AnticommutatorSameMode) {
+  // {a_0, a_0^dag} = 1
+  const FermionOperator a = FermionOperator::ladder(0, false);
+  const FermionOperator ad = FermionOperator::ladder(0, true);
+  const FermionOperator anti = (a * ad + ad * a).normal_ordered();
+  ASSERT_EQ(anti.terms().size(), 1u);
+  EXPECT_TRUE(anti.terms()[0].ops.empty());
+  EXPECT_NEAR(anti.terms()[0].coefficient.real(), 1.0, 1e-12);
+}
+
+TEST(FermionOperator, AnticommutatorDifferentModes) {
+  // {a_0, a_1^dag} = 0
+  const FermionOperator a = FermionOperator::ladder(0, false);
+  const FermionOperator bd = FermionOperator::ladder(1, true);
+  EXPECT_TRUE((a * bd + bd * a).normal_ordered().empty());
+  // {a_0, a_1} = 0
+  const FermionOperator b = FermionOperator::ladder(1, false);
+  EXPECT_TRUE((a * b + b * a).normal_ordered().empty());
+}
+
+TEST(FermionOperator, PauliExclusion) {
+  // a_0^dag a_0^dag = 0
+  const FermionOperator ad = FermionOperator::ladder(0, true);
+  EXPECT_TRUE((ad * ad).normal_ordered().empty());
+}
+
+TEST(FermionOperator, NumberOperatorIdempotent) {
+  // n^2 = n for n = a^dag a
+  const FermionOperator n =
+      FermionOperator::ladder(0, true) * FermionOperator::ladder(0, false);
+  const FermionOperator n2 = (n * n).normal_ordered();
+  const FermionOperator n1 = n.normal_ordered();
+  // n^2 - n = 0
+  EXPECT_TRUE((n2 - n1).normal_ordered().empty());
+}
+
+TEST(FermionOperator, AdjointReversesAndFlips) {
+  const FermionOperator t = FermionOperator::term(
+      {0.0, 2.0}, {{3, true}, {1, false}});
+  const FermionOperator td = t.adjoint();
+  ASSERT_EQ(td.terms().size(), 1u);
+  const FermionTerm& term = td.terms()[0];
+  EXPECT_NEAR(term.coefficient.imag(), -2.0, 1e-12);
+  ASSERT_EQ(term.ops.size(), 2u);
+  EXPECT_EQ(term.ops[0].mode, 1u);
+  EXPECT_TRUE(term.ops[0].dagger);
+  EXPECT_EQ(term.ops[1].mode, 3u);
+  EXPECT_FALSE(term.ops[1].dagger);
+}
+
+TEST(FermionOperator, NormalOrderingPreservesOperator) {
+  // a_1 a_0^dag  ->  -a_0^dag a_1 (no contraction, different modes)
+  const FermionOperator op =
+      FermionOperator::ladder(1, false) * FermionOperator::ladder(0, true);
+  const FermionOperator no = op.normal_ordered();
+  ASSERT_EQ(no.terms().size(), 1u);
+  EXPECT_NEAR(no.terms()[0].coefficient.real(), -1.0, 1e-12);
+  EXPECT_TRUE(no.terms()[0].ops[0].dagger);
+  EXPECT_EQ(no.terms()[0].ops[0].mode, 0u);
+}
+
+TEST(Excitation, SpinPairPredicate) {
+  EXPECT_TRUE(is_spin_pair(0, 1));
+  EXPECT_TRUE(is_spin_pair(3, 2));
+  EXPECT_FALSE(is_spin_pair(1, 2));
+  EXPECT_FALSE(is_spin_pair(0, 2));
+  EXPECT_FALSE(is_spin_pair(2, 2));
+}
+
+TEST(Excitation, Classification) {
+  // Bosonic: creation pair (4,5), annihilation pair (0,1).
+  const auto bosonic = ExcitationTerm::make_double(4, 5, 0, 1);
+  EXPECT_EQ(bosonic.classification(), ExcitationClass::kBosonic);
+  // Hybrid: creation pair (4,5), annihilation (0,2) not a pair.
+  const auto hybrid = ExcitationTerm::make_double(4, 5, 0, 2);
+  EXPECT_EQ(hybrid.classification(), ExcitationClass::kHybrid);
+  // Fermionic: neither side a pair.
+  const auto fermionic = ExcitationTerm::make_double(4, 6, 0, 2);
+  EXPECT_EQ(fermionic.classification(), ExcitationClass::kFermionic);
+  // Singles are always fermionic.
+  EXPECT_EQ(ExcitationTerm::single(4, 0).classification(),
+            ExcitationClass::kFermionic);
+}
+
+TEST(Excitation, IndividualIndices) {
+  const auto hybrid = ExcitationTerm::make_double(4, 5, 0, 2);
+  const auto idx = hybrid.individual_indices();
+  ASSERT_EQ(idx.size(), 2u);
+  EXPECT_EQ(idx[0], 0u);
+  EXPECT_EQ(idx[1], 2u);
+  const auto bosonic = ExcitationTerm::make_double(4, 5, 0, 1);
+  EXPECT_TRUE(bosonic.individual_indices().empty());
+}
+
+TEST(Excitation, BreaksSymmetryPredicate) {
+  // Paper appendix example: h0 = a+9 a+12 a3 a4 is hybrid? (9,12) not a
+  // pair, (3,4) not a pair (3 is odd). Use explicit small cases instead:
+  // h1 acts individually on {0, 2}; h2's compressible pair is (2,3).
+  const auto h1 = ExcitationTerm::make_double(4, 5, 0, 2);
+  const auto h2 = ExcitationTerm::make_double(2, 3, 6, 8);
+  EXPECT_TRUE(h1.breaks_symmetry_of(h2));   // h1 touches index 2
+  EXPECT_FALSE(h2.breaks_symmetry_of(h1));  // h2 individual = {6,8}, pair (4,5)
+  // A bosonic term breaks nothing.
+  const auto b = ExcitationTerm::make_double(0, 1, 2, 3);
+  EXPECT_FALSE(b.breaks_symmetry_of(h1));
+  EXPECT_FALSE(b.breaks_symmetry_of(h2));
+}
+
+TEST(Excitation, GeneratorIsAntiHermitian) {
+  const auto t = ExcitationTerm::make_double(4, 5, 0, 1);
+  const FermionOperator g = t.generator();
+  // g + g^dag = 0
+  EXPECT_TRUE((g + g.adjoint()).normal_ordered().empty());
+}
+
+}  // namespace
+}  // namespace femto::fermion

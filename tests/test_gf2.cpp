@@ -1,0 +1,191 @@
+// Unit and property tests for the GF(2) linear algebra substrate.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "gf2/bitvec.hpp"
+#include "gf2/linear_synthesis.hpp"
+#include "gf2/matrix.hpp"
+
+namespace femto::gf2 {
+namespace {
+
+TEST(BitVec, SetGetFlip) {
+  BitVec v(70);
+  EXPECT_EQ(v.size(), 70u);
+  EXPECT_FALSE(v.any());
+  v.set(0, true);
+  v.set(69, true);
+  EXPECT_TRUE(v.get(0));
+  EXPECT_TRUE(v.get(69));
+  EXPECT_FALSE(v.get(35));
+  EXPECT_EQ(v.popcount(), 2u);
+  v.flip(69);
+  EXPECT_FALSE(v.get(69));
+  EXPECT_EQ(v.popcount(), 1u);
+}
+
+TEST(BitVec, XorAndDot) {
+  const BitVec a = BitVec::from_string("1101");
+  const BitVec b = BitVec::from_string("1011");
+  EXPECT_EQ((a ^ b).to_string(), "0110");
+  EXPECT_EQ((a & b).to_string(), "1001");
+  EXPECT_EQ((a | b).to_string(), "1111");
+  // <a,b> = 1*1 + 1*0 + 0*1 + 1*1 = 0 mod 2
+  EXPECT_FALSE(a.dot(b));
+  const BitVec c = BitVec::from_string("1000");
+  EXPECT_TRUE(a.dot(c));
+}
+
+TEST(BitVec, LowestSet) {
+  BitVec v(130);
+  EXPECT_EQ(v.lowest_set(), 130u);
+  v.set(127, true);
+  EXPECT_EQ(v.lowest_set(), 127u);
+  v.set(3, true);
+  EXPECT_EQ(v.lowest_set(), 3u);
+}
+
+TEST(Matrix, IdentityAndApply) {
+  const Matrix id = Matrix::identity(5);
+  const BitVec x = BitVec::from_string("10110");
+  EXPECT_EQ(id.apply(x), x);
+  EXPECT_TRUE(id.invertible());
+  EXPECT_EQ(id.rank(), 5u);
+}
+
+TEST(Matrix, KnownInverse) {
+  // [[1,1],[0,1]] is its own inverse over GF(2).
+  const Matrix m = Matrix::from_rows({"11", "01"});
+  const auto inv = m.inverse();
+  ASSERT_TRUE(inv.has_value());
+  EXPECT_EQ(*inv, m);
+}
+
+TEST(Matrix, SingularHasNoInverse) {
+  const Matrix m = Matrix::from_rows({"11", "11"});
+  EXPECT_FALSE(m.invertible());
+  EXPECT_FALSE(m.inverse().has_value());
+  EXPECT_EQ(m.rank(), 1u);
+}
+
+TEST(Matrix, PermutationMatrix) {
+  const Matrix p = Matrix::permutation({2, 0, 1});
+  BitVec e0(3);
+  e0.set(0, true);
+  const BitVec y = p.apply(e0);
+  EXPECT_TRUE(y.get(2));
+  EXPECT_EQ(y.popcount(), 1u);
+}
+
+TEST(Matrix, BlockDiagonalAssembly) {
+  // 2x2 block [[1,1],[0,1]] on indices {1,3}, identity elsewhere.
+  const Matrix block = Matrix::from_rows({"11", "01"});
+  const Matrix m = Matrix::block_diagonal(4, {{1, 3}}, {block});
+  EXPECT_TRUE(m.invertible());
+  EXPECT_TRUE(m.get(0, 0));
+  EXPECT_TRUE(m.get(2, 2));
+  EXPECT_TRUE(m.get(1, 1));
+  EXPECT_TRUE(m.get(1, 3));
+  EXPECT_FALSE(m.get(3, 1));
+  EXPECT_TRUE(m.get(3, 3));
+}
+
+class MatrixProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MatrixProperty, InverseRoundTrip) {
+  const std::size_t n = GetParam();
+  Rng rng(17 + n);
+  for (int rep = 0; rep < 20; ++rep) {
+    const Matrix m = Matrix::random_invertible(n, rng);
+    const auto inv = m.inverse();
+    ASSERT_TRUE(inv.has_value());
+    EXPECT_EQ(m.multiply(*inv), Matrix::identity(n));
+    EXPECT_EQ(inv->multiply(m), Matrix::identity(n));
+  }
+}
+
+TEST_P(MatrixProperty, TransposeInvolutionAndProductRule) {
+  const std::size_t n = GetParam();
+  Rng rng(23 + n);
+  const Matrix a = Matrix::random_invertible(n, rng);
+  const Matrix b = Matrix::random_invertible(n, rng);
+  EXPECT_EQ(a.transpose().transpose(), a);
+  // (AB)^T = B^T A^T
+  EXPECT_EQ(a.multiply(b).transpose(), b.transpose().multiply(a.transpose()));
+}
+
+TEST_P(MatrixProperty, RowOpPreservesInvertibility) {
+  const std::size_t n = GetParam();
+  if (n < 2) return;
+  Rng rng(31 + n);
+  Matrix m = Matrix::random_invertible(n, rng);
+  for (int rep = 0; rep < 50; ++rep) {
+    const std::size_t src = rng.index(n);
+    std::size_t dst = rng.index(n);
+    if (src == dst) dst = (dst + 1) % n;
+    m.add_row(src, dst);
+    EXPECT_TRUE(m.invertible());
+  }
+}
+
+TEST_P(MatrixProperty, UpperTriangularAlwaysInvertible) {
+  const std::size_t n = GetParam();
+  Rng rng(41 + n);
+  for (int rep = 0; rep < 10; ++rep)
+    EXPECT_TRUE(Matrix::random_upper_triangular(n, rng).invertible());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MatrixProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 16, 24));
+
+class SynthesisProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SynthesisProperty, PmhRecomposesMatrix) {
+  const std::size_t n = GetParam();
+  Rng rng(57 + n);
+  for (int rep = 0; rep < 15; ++rep) {
+    const Matrix m = Matrix::random_invertible(n, rng);
+    const auto gates = synthesize_pmh(m);
+    EXPECT_EQ(network_matrix(n, gates), m);
+  }
+}
+
+TEST_P(SynthesisProperty, GaussRecomposesMatrix) {
+  const std::size_t n = GetParam();
+  Rng rng(61 + n);
+  const Matrix m = Matrix::random_invertible(n, rng);
+  EXPECT_EQ(network_matrix(n, synthesize_gauss(m)), m);
+}
+
+TEST_P(SynthesisProperty, IdentityNeedsNoGates) {
+  const std::size_t n = GetParam();
+  EXPECT_TRUE(synthesize_pmh(Matrix::identity(n)).empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SynthesisProperty,
+                         ::testing::Values(1, 2, 3, 4, 6, 9, 14, 16, 20));
+
+TEST(Synthesis, SingleCnotMatrix) {
+  // x1 += x0 corresponds to the elementary matrix with m[1][0] = 1.
+  Matrix m = Matrix::identity(2);
+  m.set(1, 0, true);
+  const auto gates = synthesize_pmh(m);
+  ASSERT_EQ(gates.size(), 1u);
+  EXPECT_EQ(gates[0].control, 0u);
+  EXPECT_EQ(gates[0].target, 1u);
+}
+
+TEST(Synthesis, ApplyNetworkMatchesMatrixApply) {
+  Rng rng(99);
+  const std::size_t n = 10;
+  const Matrix m = Matrix::random_invertible(n, rng);
+  const auto gates = synthesize_pmh(m);
+  for (int rep = 0; rep < 30; ++rep) {
+    BitVec x(n);
+    for (std::size_t i = 0; i < n; ++i) x.set(i, rng.bernoulli(0.5));
+    EXPECT_EQ(apply_network(gates, x), m.apply(x));
+  }
+}
+
+}  // namespace
+}  // namespace femto::gf2

@@ -1,0 +1,145 @@
+// Tests for graph utilities: peeling, coloring, components.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "graph/digraph.hpp"
+
+namespace femto::graph {
+namespace {
+
+TEST(Peel, ChainPeelsCompletely) {
+  // 0 -> 1 -> 2: sink 2 first; after removal 1 becomes sink, then 0.
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  const PeelResult r = peel_sinks_sources(g);
+  EXPECT_TRUE(r.remainder.empty());
+  // Sink rounds: {2}, then 1 is a sink... but 0 is a source in round 1 too.
+  // Application safety: for every edge (a -> b), b must run before a.
+  std::vector<int> pos(3, -1);
+  int t = 0;
+  for (std::size_t v : r.sinks) pos[v] = t++;
+  for (std::size_t v : r.sources) pos[v] = t++;
+  EXPECT_LT(pos[2], pos[1]);
+  EXPECT_LT(pos[1], pos[0]);
+}
+
+TEST(Peel, CycleIsIrreducible) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  const PeelResult r = peel_sinks_sources(g);
+  EXPECT_TRUE(r.sinks.empty());
+  EXPECT_TRUE(r.sources.empty());
+  EXPECT_EQ(r.remainder.size(), 3u);
+}
+
+TEST(Peel, IsolatedVertexCountsAsSink) {
+  Digraph g(2);
+  const PeelResult r = peel_sinks_sources(g);
+  EXPECT_EQ(r.sinks.size(), 2u);
+}
+
+class PeelProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PeelProperty, OrderRespectsAllEdges) {
+  // For random DAG-ish digraphs: every peeled vertex ordering must satisfy
+  // "edge a->b means b applied before a" among peeled vertices.
+  Rng rng(100 + GetParam());
+  const std::size_t n = 10;
+  Digraph g(n);
+  for (std::size_t a = 0; a < n; ++a)
+    for (std::size_t b = 0; b < n; ++b)
+      if (a != b && rng.bernoulli(0.15)) g.add_edge(a, b);
+  const PeelResult r = peel_sinks_sources(g);
+  std::vector<int> pos(n, -1);
+  int t = 0;
+  for (std::size_t v : r.sinks) pos[v] = t++;
+  const int sink_end = t;
+  t = static_cast<int>(n) - static_cast<int>(r.sources.size());
+  for (std::size_t v : r.sources) pos[v] = t++;
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = 0; b < n; ++b) {
+      if (!g.has_edge(a, b) || pos[a] < 0 || pos[b] < 0) continue;
+      // Sinks/sources only: remainder handled by coloring elsewhere.
+      EXPECT_LT(pos[b], pos[a]) << "edge " << a << "->" << b;
+    }
+  }
+  (void)sink_end;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PeelProperty, ::testing::Range(0, 8));
+
+TEST(Coloring, PathGraphTwoColors) {
+  UndirectedGraph g(5);
+  for (std::size_t i = 0; i + 1 < 5; ++i) g.add_edge(i, i + 1);
+  Rng rng(7);
+  const Coloring c = greedy_color_randomized(g, rng, 32);
+  EXPECT_TRUE(coloring_is_proper(g, c));
+  EXPECT_EQ(c.num_colors, 2);
+  EXPECT_EQ(c.largest_class().size(), 3u);
+}
+
+TEST(Coloring, CompleteGraphNeedsNColors) {
+  const std::size_t n = 5;
+  UndirectedGraph g(n);
+  for (std::size_t a = 0; a < n; ++a)
+    for (std::size_t b = a + 1; b < n; ++b) g.add_edge(a, b);
+  Rng rng(9);
+  const Coloring c = greedy_color_randomized(g, rng, 8);
+  EXPECT_TRUE(coloring_is_proper(g, c));
+  EXPECT_EQ(c.num_colors, 5);
+}
+
+class ColoringProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ColoringProperty, AlwaysProperOnRandomGraphs) {
+  Rng rng(11 + GetParam());
+  const std::size_t n = 12;
+  UndirectedGraph g(n);
+  for (std::size_t a = 0; a < n; ++a)
+    for (std::size_t b = a + 1; b < n; ++b)
+      if (rng.bernoulli(0.3)) g.add_edge(a, b);
+  const Coloring c = greedy_color_randomized(g, rng, 16);
+  EXPECT_TRUE(coloring_is_proper(g, c));
+  EXPECT_GE(c.num_colors, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ColoringProperty, ::testing::Range(0, 10));
+
+TEST(Coloring, MoreOrdersNeverWorse) {
+  // Randomized greedy with more orders finds <= colors of fewer orders
+  // (same rng family, statistically monotone; we check a fixed instance).
+  Rng rng_a(3), rng_b(3);
+  const std::size_t n = 14;
+  UndirectedGraph g(n);
+  Rng build(77);
+  for (std::size_t a = 0; a < n; ++a)
+    for (std::size_t b = a + 1; b < n; ++b)
+      if (build.bernoulli(0.4)) g.add_edge(a, b);
+  const Coloring few = greedy_color_randomized(g, rng_a, 1);
+  const Coloring many = greedy_color_randomized(g, rng_b, 128);
+  EXPECT_LE(many.num_colors, few.num_colors);
+}
+
+TEST(PairComponents, DiscoversBlocks) {
+  // Paper appendix C example: creation pairs {8,9} and {5,6}, annihilation
+  // cluster {1,2,3} (via pairs (1,2) and (2,3)).
+  const auto comps = pair_components(
+      10, {{8, 9}, {5, 6}, {1, 2}, {2, 3}});
+  ASSERT_EQ(comps.size(), 3u);
+  // Components hold sorted indices.
+  bool saw_89 = false, saw_56 = false, saw_123 = false;
+  for (const auto& c : comps) {
+    if (c == std::vector<std::size_t>{8, 9}) saw_89 = true;
+    if (c == std::vector<std::size_t>{5, 6}) saw_56 = true;
+    if (c == std::vector<std::size_t>{1, 2, 3}) saw_123 = true;
+  }
+  EXPECT_TRUE(saw_89);
+  EXPECT_TRUE(saw_56);
+  EXPECT_TRUE(saw_123);
+}
+
+}  // namespace
+}  // namespace femto::graph

@@ -1,0 +1,151 @@
+// Consolidated regression guards for the paper's headline quantitative
+// claims, run end-to-end through the real chemistry + compiler pipeline on
+// the fastest Table I rows. If any of these break, the reproduction story
+// breaks -- they are the "shape" of the paper in executable form.
+#include <gtest/gtest.h>
+
+#include "chem/fci.hpp"
+#include "chem/integrals.hpp"
+#include "chem/mo_integrals.hpp"
+#include "chem/molecules.hpp"
+#include "chem/scf.hpp"
+#include "core/compiler.hpp"
+#include "transform/linear_encoding.hpp"
+#include "vqe/driver.hpp"
+#include "vqe/uccsd.hpp"
+
+namespace femto {
+namespace {
+
+struct MoleculeData {
+  std::size_t n = 0;
+  std::vector<fermion::ExcitationTerm> terms;
+  chem::SpinOrbitalIntegrals so;
+};
+
+[[nodiscard]] MoleculeData prepare(const chem::Molecule& mol, std::size_t ne) {
+  auto basis = chem::build_sto3g(mol);
+  chem::normalize_basis(basis);
+  const auto ints = chem::compute_integrals(mol, basis);
+  const auto scf = chem::run_rhf(mol, ints);
+  const auto mo = chem::transform_to_mo(mol, ints, scf);
+  MoleculeData d;
+  d.so = chem::to_spin_orbitals(mo);
+  d.n = d.so.n;
+  d.terms = vqe::uccsd_hmp2_terms(d.so);
+  if (d.terms.size() > ne) d.terms.resize(ne);
+  return d;
+}
+
+[[nodiscard]] int count_for(const MoleculeData& d, const char* column) {
+  core::CompileOptions opt;
+  opt.emit_circuit = false;
+  opt.sa_options.steps = 800;
+  opt.pso_options.iterations = 30;
+  opt.pso_options.particles = 12;
+  opt.gtsp_options.generations = 150;
+  const std::string c = column;
+  if (c == "JW") {
+    opt.transform = core::TransformKind::kJordanWigner;
+    opt.sorting = core::SortingMode::kBaseline;
+    opt.compression = core::CompressionMode::kBosonicOnly;
+  } else if (c == "BK") {
+    opt.transform = core::TransformKind::kBravyiKitaev;
+    opt.sorting = core::SortingMode::kBaseline;
+    opt.compression = core::CompressionMode::kBosonicOnly;
+  } else if (c == "GT") {
+    opt.transform = core::TransformKind::kBaselineGT;
+    opt.sorting = core::SortingMode::kBaseline;
+    opt.compression = core::CompressionMode::kBosonicOnly;
+  } else {
+    opt.transform = core::TransformKind::kAdvanced;
+    opt.sorting = core::SortingMode::kAdvanced;
+    opt.compression = core::CompressionMode::kHybrid;
+  }
+  return core::compile_vqe(d.n, d.terms, opt).model_cnots;
+}
+
+TEST(PaperAnchors, TableOneHfRowShape) {
+  // HF at Ne = 3 (the paper's chemical-accuracy count). Shape requirements:
+  // Adv < GT <= JW < BK and the Adv improvement over GT within a sane band
+  // around the paper's 24%.
+  const MoleculeData d = prepare(chem::make_hf(), 3);
+  const int jw = count_for(d, "JW");
+  const int bk = count_for(d, "BK");
+  const int gt = count_for(d, "GT");
+  const int adv = count_for(d, "Adv");
+  EXPECT_LT(adv, gt);
+  EXPECT_LE(gt, jw);
+  EXPECT_LT(jw, bk);
+  const double improve = 100.0 * (gt - adv) / gt;
+  EXPECT_GT(improve, 8.0);
+  EXPECT_LT(improve, 45.0);
+}
+
+TEST(PaperAnchors, WaterEarlyTermsIncludeCheapBosonicAdds) {
+  // The paper's Table I water rows grow 42 -> 44 -> 46: the 5th and 6th
+  // HMP2 terms are 2-CNOT bosonic pairs. Our static MP2 ranking must agree.
+  const MoleculeData d = prepare(chem::make_h2o(), 6);
+  ASSERT_GE(d.terms.size(), 6u);
+  EXPECT_EQ(d.terms[4].classification(), fermion::ExcitationClass::kBosonic);
+  EXPECT_EQ(d.terms[5].classification(), fermion::ExcitationClass::kBosonic);
+}
+
+TEST(PaperAnchors, Fig5EnergyParityBetweenPipelines) {
+  // The Fig. 5 claim in miniature: at M = 4 water terms, the prior-art and
+  // this-work term orders reach the same optimized energy.
+  const MoleculeData d = prepare(chem::make_h2o(), 4);
+  core::CompileOptions base;
+  base.emit_circuit = false;
+  base.transform = core::TransformKind::kJordanWigner;
+  base.sorting = core::SortingMode::kBaseline;
+  base.compression = core::CompressionMode::kBosonicOnly;
+  core::CompileOptions adv;
+  adv.emit_circuit = false;
+  adv.sa_options.steps = 200;
+  const auto res_base = core::compile_vqe(d.n, d.terms, base);
+  const auto res_adv = core::compile_vqe(d.n, d.terms, adv);
+  // Orders genuinely differ (otherwise the test is vacuous)?  Not required,
+  // but energies must match either way.
+  const auto enc = transform::LinearEncoding::jordan_wigner(d.n);
+  const pauli::PauliSum hq = enc.map(chem::build_hamiltonian(d.so));
+  const std::size_t hf_index = (std::size_t{1} << d.so.nelec) - 1;
+  const auto optimize = [&](const std::vector<pauli::PauliSum>& gens) {
+    vqe::VqeProblem prob;
+    prob.num_qubits = d.n;
+    prob.hamiltonian = hq;
+    prob.generators = gens;
+    prob.reference_index = hf_index;
+    std::vector<double> theta(gens.size(), 0.0);
+    vqe::OptimizerOptions vopt;
+    vopt.max_iterations = 150;
+    return vqe::minimize_energy(prob, theta, vopt).energy;
+  };
+  const double e_base = optimize(res_base.ordered_generators);
+  const double e_adv = optimize(res_adv.ordered_generators);
+  EXPECT_NEAR(e_base, e_adv, 1e-6);
+}
+
+TEST(PaperAnchors, BlockCostTriad) {
+  // 2 / 7 / 13: the paper's three per-term compression levels, through the
+  // real compiler.
+  core::CompileOptions opt;
+  opt.transform = core::TransformKind::kJordanWigner;
+  EXPECT_EQ(core::compile_vqe(
+                6, {fermion::ExcitationTerm::make_double(4, 5, 0, 1)}, opt)
+                .model_cnots,
+            2);
+  EXPECT_EQ(core::compile_vqe(
+                6, {fermion::ExcitationTerm::make_double(0, 1, 3, 4)}, opt)
+                .model_cnots,
+            7);
+  core::CompileOptions plain = opt;
+  plain.compression = core::CompressionMode::kNone;
+  EXPECT_EQ(core::compile_vqe(
+                8, {fermion::ExcitationTerm::make_double(4, 5, 0, 1)}, plain)
+                .model_cnots,
+            13);
+}
+
+}  // namespace
+}  // namespace femto

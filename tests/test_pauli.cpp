@@ -1,0 +1,262 @@
+// Tests for Pauli strings, sums and Clifford conjugation, cross-checked
+// against dense 2^n x 2^n matrices built from the letter definitions.
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "pauli/clifford_map.hpp"
+#include "pauli/pauli_string.hpp"
+#include "pauli/pauli_sum.hpp"
+
+namespace femto::pauli {
+namespace {
+
+using Dense = std::vector<std::vector<Complex>>;
+
+[[nodiscard]] Dense dense_mul(const Dense& a, const Dense& b) {
+  const std::size_t dim = a.size();
+  Dense out(dim, std::vector<Complex>(dim, {0, 0}));
+  for (std::size_t i = 0; i < dim; ++i)
+    for (std::size_t k = 0; k < dim; ++k) {
+      if (std::abs(a[i][k]) < 1e-15) continue;
+      for (std::size_t j = 0; j < dim; ++j) out[i][j] += a[i][k] * b[k][j];
+    }
+  return out;
+}
+
+/// Dense matrix of a PauliString from the letter definitions, including the
+/// letter-form sign.
+[[nodiscard]] Dense dense_of(const PauliString& p) {
+  const std::size_t n = p.num_qubits();
+  const std::size_t dim = std::size_t{1} << n;
+  Dense m(dim, std::vector<Complex>(dim, {0, 0}));
+  for (std::size_t col = 0; col < dim; ++col) {
+    std::size_t row = col;
+    Complex val = p.sign();
+    for (std::size_t q = 0; q < n; ++q) {
+      const bool bit = (col >> q) & 1;
+      switch (p.letter(q)) {
+        case Letter::I: break;
+        case Letter::X: row ^= std::size_t{1} << q; break;
+        case Letter::Y:
+          row ^= std::size_t{1} << q;
+          val *= bit ? Complex(0, -1) : Complex(0, 1);
+          break;
+        case Letter::Z:
+          if (bit) val = -val;
+          break;
+      }
+    }
+    m[row][col] += val;
+  }
+  return m;
+}
+
+[[nodiscard]] double dense_dist(const Dense& a, const Dense& b) {
+  double d = 0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    for (std::size_t j = 0; j < a.size(); ++j)
+      d = std::max(d, std::abs(a[i][j] - b[i][j]));
+  return d;
+}
+
+[[nodiscard]] PauliString random_string(std::size_t n, Rng& rng) {
+  PauliString p(n);
+  for (std::size_t q = 0; q < n; ++q)
+    p.set_letter(q, static_cast<Letter>(rng.index(4)));
+  if (rng.bernoulli(0.5)) p.set_phase_exponent(p.phase_exponent() + 2);
+  return p;
+}
+
+TEST(PauliString, FromStringRoundTrip) {
+  const PauliString p = PauliString::from_string("XYIZ");
+  EXPECT_EQ(p.letter(0), Letter::X);
+  EXPECT_EQ(p.letter(1), Letter::Y);
+  EXPECT_EQ(p.letter(2), Letter::I);
+  EXPECT_EQ(p.letter(3), Letter::Z);
+  EXPECT_EQ(p.to_string(), "+XYIZ");
+  EXPECT_EQ(p.weight(), 3u);
+  EXPECT_TRUE(p.is_hermitian());
+
+  const PauliString neg = PauliString::from_string("-XX");
+  EXPECT_EQ(neg.sign(), Complex(-1.0, 0.0));
+  EXPECT_EQ(neg.to_string(), "-XX");
+}
+
+TEST(PauliString, SingleLetterPhases) {
+  // Y = i XZ: check the stored phase keeps the letter-form sign +1.
+  const PauliString y = PauliString::single(1, 0, Letter::Y);
+  EXPECT_EQ(y.sign(), Complex(1.0, 0.0));
+  EXPECT_TRUE(y.is_hermitian());
+}
+
+TEST(PauliString, KnownProducts) {
+  const PauliString x = PauliString::from_string("X");
+  const PauliString y = PauliString::from_string("Y");
+  const PauliString z = PauliString::from_string("Z");
+  // XY = iZ
+  EXPECT_TRUE((x * y).same_letters(z));
+  EXPECT_EQ((x * y).sign(), Complex(0.0, 1.0));
+  // YX = -iZ
+  EXPECT_EQ((y * x).sign(), Complex(0.0, -1.0));
+  // ZX = iY
+  EXPECT_TRUE((z * x).same_letters(y));
+  EXPECT_EQ((z * x).sign(), Complex(0.0, 1.0));
+  // XX = I
+  EXPECT_TRUE((x * x).is_identity_letters());
+  EXPECT_EQ((x * x).sign(), Complex(1.0, 0.0));
+}
+
+class PauliAlgebra : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PauliAlgebra, ProductMatchesDense) {
+  const std::size_t n = GetParam();
+  Rng rng(7 + n);
+  for (int rep = 0; rep < 30; ++rep) {
+    const PauliString a = random_string(n, rng);
+    const PauliString b = random_string(n, rng);
+    const Dense expect = dense_mul(dense_of(a), dense_of(b));
+    EXPECT_LT(dense_dist(dense_of(a * b), expect), 1e-12);
+  }
+}
+
+TEST_P(PauliAlgebra, CommutationMatchesDense) {
+  const std::size_t n = GetParam();
+  Rng rng(11 + n);
+  for (int rep = 0; rep < 30; ++rep) {
+    const PauliString a = random_string(n, rng);
+    const PauliString b = random_string(n, rng);
+    const Dense ab = dense_mul(dense_of(a), dense_of(b));
+    const Dense ba = dense_mul(dense_of(b), dense_of(a));
+    const bool dense_commute = dense_dist(ab, ba) < 1e-12;
+    EXPECT_EQ(a.commutes_with(b), dense_commute);
+  }
+}
+
+TEST_P(PauliAlgebra, AdjointMatchesDense) {
+  const std::size_t n = GetParam();
+  Rng rng(13 + n);
+  for (int rep = 0; rep < 20; ++rep) {
+    const PauliString a = random_string(n, rng);
+    Dense conj_t = dense_of(a);
+    // conjugate transpose
+    Dense expect(conj_t.size(), std::vector<Complex>(conj_t.size()));
+    for (std::size_t i = 0; i < conj_t.size(); ++i)
+      for (std::size_t j = 0; j < conj_t.size(); ++j)
+        expect[i][j] = std::conj(conj_t[j][i]);
+    EXPECT_LT(dense_dist(dense_of(a.adjoint()), expect), 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PauliAlgebra, ::testing::Values(1, 2, 3, 4));
+
+TEST(CliffordMap, CnotConjugationKnownCases) {
+  // CNOT (X @ I) CNOT = X @ X
+  const PauliString xi = PauliString::from_string("XI");
+  EXPECT_EQ(CliffordMap::conj_cnot(xi, 0, 1).to_string(), "+XX");
+  // CNOT (I @ Z) CNOT = Z @ Z
+  const PauliString iz = PauliString::from_string("IZ");
+  EXPECT_EQ(CliffordMap::conj_cnot(iz, 0, 1).to_string(), "+ZZ");
+  // CNOT (Y @ Y) CNOT = -X @ Z
+  const PauliString yy = PauliString::from_string("YY");
+  EXPECT_EQ(CliffordMap::conj_cnot(yy, 0, 1).to_string(), "-XZ");
+  // Z on control and X on target are fixed.
+  EXPECT_EQ(CliffordMap::conj_cnot(PauliString::from_string("ZI"), 0, 1)
+                .to_string(),
+            "+ZI");
+  EXPECT_EQ(CliffordMap::conj_cnot(PauliString::from_string("IX"), 0, 1)
+                .to_string(),
+            "+IX");
+}
+
+TEST(CliffordMap, HAndSConjugation) {
+  EXPECT_EQ(CliffordMap::conj_h(PauliString::from_string("X"), 0).to_string(),
+            "+Z");
+  EXPECT_EQ(CliffordMap::conj_h(PauliString::from_string("Y"), 0).to_string(),
+            "-Y");
+  EXPECT_EQ(CliffordMap::conj_s(PauliString::from_string("X"), 0).to_string(),
+            "+Y");
+  EXPECT_EQ(CliffordMap::conj_s(PauliString::from_string("Y"), 0).to_string(),
+            "-X");
+}
+
+TEST(CliffordMap, NetworkConjugationPreservesCommutationAndWeightBound) {
+  Rng rng(101);
+  const std::size_t n = 6;
+  const gf2::Matrix m = gf2::Matrix::random_invertible(n, rng);
+  const auto gates = gf2::synthesize_pmh(m);
+  const CliffordMap map = CliffordMap::from_cnot_network(n, gates);
+  for (int rep = 0; rep < 30; ++rep) {
+    const PauliString a = random_string(n, rng);
+    const PauliString b = random_string(n, rng);
+    EXPECT_EQ(map.apply(a).commutes_with(map.apply(b)), a.commutes_with(b));
+    // Conjugation is a homomorphism: map(a*b) = map(a)*map(b).
+    EXPECT_EQ(map.apply(a * b), map.apply(a) * map.apply(b));
+  }
+}
+
+TEST(CliffordMap, MatrixFormMatchesGateForm) {
+  // x' = A x, z' = A^-T z must agree with gate-wise conjugation on supports.
+  Rng rng(202);
+  const std::size_t n = 7;
+  const gf2::Matrix a = gf2::Matrix::random_invertible(n, rng);
+  const auto gates = gf2::synthesize_pmh(a);
+  const CliffordMap map = CliffordMap::from_cnot_network(n, gates);
+  const gf2::Matrix a_inv_t = a.inverse()->transpose();
+  for (int rep = 0; rep < 40; ++rep) {
+    const PauliString p = random_string(n, rng);
+    const PauliString img = map.apply(p);
+    EXPECT_EQ(img.x(), a.apply(p.x()));
+    EXPECT_EQ(img.z(), a_inv_t.apply(p.z()));
+  }
+}
+
+TEST(PauliSum, MergesEqualLetterTerms) {
+  PauliSum sum(2);
+  sum.add({1.0, 0.0}, PauliString::from_string("XY"));
+  sum.add({2.0, 0.0}, PauliString::from_string("XY"));
+  sum.add({0.5, 0.0}, PauliString::from_string("-XY"));  // = -0.5 XY
+  ASSERT_EQ(sum.size(), 1u);
+  EXPECT_NEAR(sum.terms()[0].coefficient.real(), 2.5, 1e-12);
+}
+
+TEST(PauliSum, ProductDistributes) {
+  // (X + Z)(X - Z) = XX - XZ + ZX - ZZ = I - XZ + ZX - I = ... check dense.
+  PauliSum a(1);
+  a.add({1, 0}, PauliString::from_string("X"));
+  a.add({1, 0}, PauliString::from_string("Z"));
+  PauliSum b(1);
+  b.add({1, 0}, PauliString::from_string("X"));
+  b.add({-1, 0}, PauliString::from_string("Z"));
+  const PauliSum prod = a * b;
+  // X*X = I, X*(-Z) = -XZ = iY? XZ = -iY so -XZ = iY; Z*X = iY; Z*(-Z) = -I.
+  // Sum: (I - I) + (iY + iY) = 2iY.
+  ASSERT_EQ(prod.size(), 1u);
+  EXPECT_TRUE(prod.terms()[0].string.same_letters(
+      PauliString::from_string("Y")));
+  EXPECT_NEAR(std::abs(prod.terms()[0].coefficient - Complex(0, 2.0)), 0.0,
+              1e-12);
+}
+
+TEST(PauliSum, AdjointConjugatesCoefficients) {
+  PauliSum a(2);
+  a.add({0.0, 1.0}, PauliString::from_string("XY"));
+  const PauliSum ad = a.adjoint();
+  ASSERT_EQ(ad.size(), 1u);
+  EXPECT_NEAR(std::abs(ad.terms()[0].coefficient - Complex(0.0, -1.0)), 0.0,
+              1e-12);
+}
+
+TEST(PauliSum, PruneDropsZeros) {
+  PauliSum a(1);
+  a.add({1.0, 0.0}, PauliString::from_string("X"));
+  a.add({-1.0, 0.0}, PauliString::from_string("X"));
+  a.add({1.0, 0.0}, PauliString::from_string("Z"));
+  a.prune();
+  EXPECT_EQ(a.size(), 1u);
+}
+
+}  // namespace
+}  // namespace femto::pauli

