@@ -9,9 +9,10 @@
 //   block-sa      : block-diagonal Gamma via simulated annealing (this work)
 // The paper's argument: SA over the topology-restricted block space escapes
 // the local minima PSO gets stuck in.
-#include <benchmark/benchmark.h>
-
 #include <cstdio>
+#include <string>
+
+#include "bench_harness.hpp"
 
 #include "chem/integrals.hpp"
 #include "chem/mo_integrals.hpp"
@@ -64,31 +65,25 @@ int count_with_transform(const Fixture& f, core::TransformKind kind,
   return core::compile_vqe(f.n, f.terms, opt).model_cnots;
 }
 
-void BM_GammaSearchSa(benchmark::State& state) {
-  const Fixture& f = molecule_terms(0, static_cast<std::size_t>(state.range(0)));
+void bench_gamma_search(bench::Harness& h, const char* name,
+                        core::TransformKind kind, std::size_t ne) {
+  const Fixture& f = molecule_terms(0, ne);
   int count = 0;
-  for (auto _ : state)
-    count = count_with_transform(f, core::TransformKind::kAdvanced,
-                                 core::SortingMode::kBaseline);
-  state.counters["cnots"] = count;
+  h.run(std::string("gamma_search/") + name + "_h2o_" + std::to_string(ne), 3,
+        [&] {
+          count = count_with_transform(f, kind, core::SortingMode::kBaseline);
+        });
+  h.metric("cnots", count);
 }
-void BM_GammaSearchPso(benchmark::State& state) {
-  const Fixture& f = molecule_terms(0, static_cast<std::size_t>(state.range(0)));
-  int count = 0;
-  for (auto _ : state)
-    count = count_with_transform(f, core::TransformKind::kBaselineGT,
-                                 core::SortingMode::kBaseline);
-  state.counters["cnots"] = count;
-}
-
-BENCHMARK(BM_GammaSearchSa)->Arg(6)->Arg(10)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_GammaSearchPso)->Arg(6)->Arg(10)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+int main() {
+  bench::Harness h("ablation_gamma");
+  for (std::size_t ne : {6, 10}) {
+    bench_gamma_search(h, "block_sa", core::TransformKind::kAdvanced, ne);
+    bench_gamma_search(h, "ut_pso", core::TransformKind::kBaselineGT, ne);
+  }
   std::printf("\n# E4 Gamma ablation (baseline sorting, no compression)\n");
   std::printf("%-10s %4s | %9s %6s %8s %9s\n", "molecule", "Ne", "identity",
               "bk", "ut-pso", "block-sa");
@@ -100,16 +95,24 @@ int main(int argc, char** argv) {
   for (const Case c : {Case{1, "LiH", 3}, Case{2, "BeH2", 9},
                        Case{0, "H2O", 8}, Case{0, "H2O", 17}}) {
     const Fixture& f = molecule_terms(c.which, c.ne);
+    int counts[4] = {0, 0, 0, 0};
+    const core::TransformKind kinds[4] = {
+        core::TransformKind::kJordanWigner, core::TransformKind::kBravyiKitaev,
+        core::TransformKind::kBaselineGT, core::TransformKind::kAdvanced};
+    h.run(std::string("ablation/") + c.name + "_" +
+              std::to_string(f.terms.size()),
+          1, [&] {
+            for (int k = 0; k < 4; ++k)
+              counts[k] =
+                  count_with_transform(f, kinds[k], core::SortingMode::kBaseline);
+          });
     std::printf("%-10s %4zu | %9d %6d %8d %9d\n", c.name, f.terms.size(),
-                count_with_transform(f, core::TransformKind::kJordanWigner,
-                                     core::SortingMode::kBaseline),
-                count_with_transform(f, core::TransformKind::kBravyiKitaev,
-                                     core::SortingMode::kBaseline),
-                count_with_transform(f, core::TransformKind::kBaselineGT,
-                                     core::SortingMode::kBaseline),
-                count_with_transform(f, core::TransformKind::kAdvanced,
-                                     core::SortingMode::kBaseline));
+                counts[0], counts[1], counts[2], counts[3]);
     std::fflush(stdout);
+    h.metric("identity", counts[0]);
+    h.metric("bk", counts[1]);
+    h.metric("ut_pso", counts[2]);
+    h.metric("block_sa", counts[3]);
   }
-  return 0;
+  return h.write_json() ? 0 : 1;
 }

@@ -6,9 +6,10 @@
 //   hybrid       : this work's GVCP-planned compression
 // and sweeps the randomized-coloring order count to show the GVCP heuristic
 // quality saturating (paper Sec. IV).
-#include <benchmark/benchmark.h>
-
 #include <cstdio>
+#include <string>
+
+#include "bench_harness.hpp"
 
 #include "chem/integrals.hpp"
 #include "chem/mo_integrals.hpp"
@@ -54,32 +55,42 @@ int count_with_compression(const Fixture& f, core::CompressionMode mode) {
   return core::compile_vqe(f.n, f.terms, opt).model_cnots;
 }
 
-void BM_PlanHybrid(benchmark::State& state) {
-  const Fixture& f = water_terms(17);
-  Rng rng(1);
-  for (auto _ : state) {
-    auto plan = encoding::plan_hybrid_encoding(
-        f.terms, rng, static_cast<int>(state.range(0)));
-    benchmark::DoNotOptimize(plan);
-  }
-}
-BENCHMARK(BM_PlanHybrid)->Arg(1)->Arg(16)->Arg(64)->Arg(256);
-
 }  // namespace
 
-int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+int main() {
+  bench::Harness h("ablation_hybrid");
+  {
+    const Fixture& f = water_terms(17);
+    for (int orders : {1, 16, 64, 256}) {
+      std::size_t folded = 0;
+      h.run("plan_hybrid/water17_orders" + std::to_string(orders), 5, [&] {
+        Rng rng(1);
+        folded = encoding::plan_hybrid_encoding(f.terms, rng, orders)
+                     .hybrid_folded;
+      });
+      h.metric("orders", orders);
+      h.metric("folded", static_cast<double>(folded));
+    }
+  }
 
   std::printf("\n# E5 compression ablation (advanced transform + sorting)\n");
   std::printf("%4s %8s %14s %8s\n", "Ne", "none", "bosonic-only", "hybrid");
   for (std::size_t ne : {4, 8, 12, 17, 24}) {
     const Fixture& f = water_terms(ne);
-    std::printf("%4zu %8d %14d %8d\n", f.terms.size(),
-                count_with_compression(f, core::CompressionMode::kNone),
-                count_with_compression(f, core::CompressionMode::kBosonicOnly),
-                count_with_compression(f, core::CompressionMode::kHybrid));
+    int counts[3] = {0, 0, 0};
+    const core::CompressionMode modes[3] = {core::CompressionMode::kNone,
+                                            core::CompressionMode::kBosonicOnly,
+                                            core::CompressionMode::kHybrid};
+    h.run("compression/water_" + std::to_string(f.terms.size()), 1, [&] {
+      for (int k = 0; k < 3; ++k)
+        counts[k] = count_with_compression(f, modes[k]);
+    });
+    std::printf("%4zu %8d %14d %8d\n", f.terms.size(), counts[0], counts[1],
+                counts[2]);
     std::fflush(stdout);
+    h.metric("none", counts[0]);
+    h.metric("bosonic_only", counts[1]);
+    h.metric("hybrid", counts[2]);
   }
 
   // Water's hybrid conflicts peel away entirely (no colored core), so the
@@ -113,6 +124,10 @@ int main(int argc, char** argv) {
     const auto plan = encoding::plan_hybrid_encoding(tiled, rng, orders);
     std::printf("%8d %8d %12zu %8zu\n", orders, plan.chromatic_number,
                 plan.colored.size(), plan.hybrid_folded);
+    h.section("gvcp_sweep/orders" + std::to_string(orders));
+    h.metric("chromatic_number", plan.chromatic_number);
+    h.metric("class_size", static_cast<double>(plan.colored.size()));
+    h.metric("folded", static_cast<double>(plan.hybrid_folded));
   }
-  return 0;
+  return h.write_json() ? 0 : 1;
 }

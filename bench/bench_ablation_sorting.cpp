@@ -5,9 +5,10 @@
 //   baseline  : per-term shared target + exact intra order + doubly greedy
 //   gtsp-ga   : the paper's joint GTSP (order + per-string targets)
 // plus wall-time per mode (google-benchmark).
-#include <benchmark/benchmark.h>
-
 #include <cstdio>
+#include <string>
+
+#include "bench_harness.hpp"
 
 #include "chem/integrals.hpp"
 #include "chem/mo_integrals.hpp"
@@ -53,45 +54,37 @@ int count_with_sorting(const Fixture& f, core::SortingMode mode) {
   return core::compile_vqe(f.n, f.terms, opt).model_cnots;
 }
 
-void BM_SortNone(benchmark::State& state) {
-  const Fixture& f = water_terms(static_cast<std::size_t>(state.range(0)));
+void bench_sorting(bench::Harness& h, const char* name,
+                   core::SortingMode mode, std::size_t ne) {
+  const Fixture& f = water_terms(ne);
   int count = 0;
-  for (auto _ : state) count = count_with_sorting(f, core::SortingMode::kNone);
-  state.counters["cnots"] = count;
+  h.run(std::string("sort/") + name + "_water" + std::to_string(ne), 3,
+        [&] { count = count_with_sorting(f, mode); });
+  h.metric("cnots", count);
 }
-void BM_SortBaseline(benchmark::State& state) {
-  const Fixture& f = water_terms(static_cast<std::size_t>(state.range(0)));
-  int count = 0;
-  for (auto _ : state)
-    count = count_with_sorting(f, core::SortingMode::kBaseline);
-  state.counters["cnots"] = count;
-}
-void BM_SortGtspGa(benchmark::State& state) {
-  const Fixture& f = water_terms(static_cast<std::size_t>(state.range(0)));
-  int count = 0;
-  for (auto _ : state)
-    count = count_with_sorting(f, core::SortingMode::kAdvanced);
-  state.counters["cnots"] = count;
-}
-
-BENCHMARK(BM_SortNone)->Arg(4)->Arg(8)->Arg(12)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_SortBaseline)->Arg(4)->Arg(8)->Arg(12)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_SortGtspGa)->Arg(4)->Arg(8)->Arg(12)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+int main() {
+  bench::Harness h("ablation_sorting");
+  for (std::size_t ne : {4, 8, 12}) {
+    bench_sorting(h, "none", core::SortingMode::kNone, ne);
+    bench_sorting(h, "baseline", core::SortingMode::kBaseline, ne);
+    bench_sorting(h, "gtsp_ga", core::SortingMode::kAdvanced, ne);
+  }
   // Summary table (the ablation result itself).
   std::printf("\n# E3 sorting ablation (water, JW, no compression)\n");
   std::printf("%4s %8s %10s %9s\n", "Ne", "none", "baseline", "gtsp-ga");
   for (std::size_t ne : {4, 8, 12, 17}) {
     const Fixture& f = water_terms(ne);
-    std::printf("%4zu %8d %10d %9d\n", ne,
-                count_with_sorting(f, core::SortingMode::kNone),
-                count_with_sorting(f, core::SortingMode::kBaseline),
-                count_with_sorting(f, core::SortingMode::kAdvanced));
+    const int c_none = count_with_sorting(f, core::SortingMode::kNone);
+    const int c_base = count_with_sorting(f, core::SortingMode::kBaseline);
+    const int c_adv = count_with_sorting(f, core::SortingMode::kAdvanced);
+    std::printf("%4zu %8d %10d %9d\n", ne, c_none, c_base, c_adv);
+    h.section("summary/water" + std::to_string(ne));
+    h.metric("none", c_none);
+    h.metric("baseline", c_base);
+    h.metric("gtsp_ga", c_adv);
   }
-  return 0;
+  return h.write_json() ? 0 : 1;
 }

@@ -8,9 +8,9 @@
 //   (b) state fidelity of the compiled step against the exact propagator
 //       (statevector), confirming the reordering preserves accuracy at the
 //       Trotter-error level.
-#include <benchmark/benchmark.h>
-
 #include <cstdio>
+
+#include "bench_harness.hpp"
 #include <vector>
 
 #include "core/rotation_blocks.hpp"
@@ -88,23 +88,20 @@ double fidelity_against_exact(const TrotterStep& step,
   return std::abs(ref.inner(actual));
 }
 
-void BM_TrotterCompileSorted(benchmark::State& state) {
-  const TrotterStep step = trotter_blocks(4, 1.0, 4.0, 0.05);
-  int cnots = 0;
-  for (auto _ : state) {
-    Rng rng(3);
-    const auto ordered = core::sort_advanced(step.blocks, rng);
-    cnots = synth::sequence_model_cost(ordered);
-  }
-  state.counters["cnots"] = cnots;
-}
-BENCHMARK(BM_TrotterCompileSorted)->Unit(benchmark::kMillisecond);
-
 }  // namespace
 
-int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+int main() {
+  bench::Harness h("dynamics");
+  {
+    const TrotterStep step = trotter_blocks(4, 1.0, 4.0, 0.05);
+    int cnots = 0;
+    h.run("trotter_compile/advanced_sort", 3, [&] {
+      Rng rng(3);
+      const auto ordered = core::sort_advanced(step.blocks, rng);
+      cnots = synth::sequence_model_cost(ordered);
+    });
+    h.metric("cnots", cnots);
+  }
 
   std::printf("\n# E8 Fermi-Hubbard Trotter step (4 sites, t=1, U=4, dt=0.05)\n");
   const TrotterStep step = trotter_blocks(4, 1.0, 4.0, 0.05);
@@ -119,15 +116,20 @@ int main(int argc, char** argv) {
   const auto ordered = core::sort_advanced(step.blocks, rng);
   const auto circ_sorted = synth::synthesize_sequence(step.n, ordered);
 
+  const double fid_naive = fidelity_against_exact(step, circ_naive, hq, 0.05);
+  const double fid_sorted = fidelity_against_exact(step, circ_sorted, hq, 0.05);
   std::printf("%-22s %8s %10s\n", "variant", "cnots", "fidelity");
-  std::printf("%-22s %8d %10.6f\n", "naive order",
-              circ_naive.cnot_count(),
-              fidelity_against_exact(step, circ_naive, hq, 0.05));
+  std::printf("%-22s %8d %10.6f\n", "naive order", circ_naive.cnot_count(),
+              fid_naive);
   std::printf("%-22s %8d %10.6f\n", "advanced sorting",
-              circ_sorted.cnot_count(),
-              fidelity_against_exact(step, circ_sorted, hq, 0.05));
+              circ_sorted.cnot_count(), fid_sorted);
   std::printf("# model cost sorted: %d (naive %d)\n",
               synth::sequence_model_cost(ordered),
               synth::sequence_model_cost(step.blocks));
-  return 0;
+  h.section("trotter_step/summary");
+  h.metric("cnots_naive", circ_naive.cnot_count());
+  h.metric("cnots_sorted", circ_sorted.cnot_count());
+  h.metric("fidelity_naive", fid_naive);
+  h.metric("fidelity_sorted", fid_sorted);
+  return h.write_json() ? 0 : 1;
 }

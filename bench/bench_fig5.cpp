@@ -12,7 +12,10 @@
 // gradients), which corresponds to the infinite-shot limit of the paper's
 // measurement scheme.
 #include <cstdio>
+#include <string>
 #include <vector>
+
+#include "bench_harness.hpp"
 
 #include "chem/fci.hpp"
 #include "chem/integrals.hpp"
@@ -27,6 +30,8 @@
 
 int main() {
   using namespace femto;
+  bench::Harness h("fig5");
+  // (fci reference attached below, once computed)
   const auto mol = chem::make_h2o();
   auto basis = chem::build_sto3g(mol);
   chem::normalize_basis(basis);
@@ -86,13 +91,23 @@ int main() {
       warm = res.theta;
       return res.energy;
     };
-    const double e_prior = optimize(res_base.ordered_generators, theta_prior);
-    const double e_this = optimize(res_adv.ordered_generators, theta_this);
+    double e_prior = 0.0, e_this = 0.0;
+    h.run("fig5/m" + std::to_string(m), 1, [&] {
+      e_prior = optimize(res_base.ordered_generators, theta_prior);
+      e_this = optimize(res_adv.ordered_generators, theta_this);
+    });
     std::printf("%4zu %18.6f %18.6f %12.3f %12.3f\n", m, e_prior, e_this,
                 1000.0 * (e_prior - fci.energy), 1000.0 * (e_this - fci.energy));
     std::fflush(stdout);
+    h.metric("e_prior", e_prior);
+    h.metric("e_this", e_this);
+    h.metric("dprior_mha", 1000.0 * (e_prior - fci.energy));
+    h.metric("dthis_mha", 1000.0 * (e_this - fci.energy));
   }
   std::printf(
       "# chemical accuracy reached when |E - FCI| < 1.6 mHa in both series\n");
-  return 0;
+  h.section("reference");
+  h.metric("fci_energy", fci.energy);
+  h.metric("scf_energy", scf.total_energy);
+  return h.write_json() ? 0 : 1;
 }

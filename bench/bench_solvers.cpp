@@ -5,10 +5,11 @@
 //  - Simulated annealing schedule sweep on a rugged test function.
 //  - Linear-reversible synthesis: PMH vs plain Gaussian elimination CNOT
 //    counts (the PMH dedup should win as n grows; paper reference [26]).
-#include <benchmark/benchmark.h>
-
 #include <cmath>
 #include <cstdio>
+#include <string>
+
+#include "bench_harness.hpp"
 
 #include "common/rng.hpp"
 #include "gf2/linear_synthesis.hpp"
@@ -35,53 +36,35 @@ opt::GtspInstance random_instance(std::size_t clusters, std::size_t k) {
   return inst;
 }
 
-void BM_GtspGa(benchmark::State& state) {
-  const auto inst = random_instance(static_cast<std::size_t>(state.range(0)), 4);
-  double value = 0;
-  for (auto _ : state) {
-    Rng rng(7);
-    value = opt::solve_gtsp_ga(inst, rng).value;
-  }
-  state.counters["value"] = value;
-}
-void BM_GtspGreedy(benchmark::State& state) {
-  const auto inst = random_instance(static_cast<std::size_t>(state.range(0)), 4);
-  double value = 0;
-  for (auto _ : state) {
-    Rng rng(7);
-    value = opt::solve_gtsp_greedy(inst, rng).value;
-  }
-  state.counters["value"] = value;
-}
-void BM_GtspRandom(benchmark::State& state) {
-  const auto inst = random_instance(static_cast<std::size_t>(state.range(0)), 4);
-  double value = 0;
-  for (auto _ : state) {
-    Rng rng(7);
-    value = opt::solve_gtsp_random(inst, rng, 50).value;
-  }
-  state.counters["value"] = value;
-}
-
-BENCHMARK(BM_GtspGa)->Arg(16)->Arg(48)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_GtspGreedy)->Arg(16)->Arg(48)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_GtspRandom)->Arg(16)->Arg(48)->Unit(benchmark::kMillisecond);
-
-void BM_PmhSynthesis(benchmark::State& state) {
-  Rng rng(11);
-  const std::size_t n = static_cast<std::size_t>(state.range(0));
-  const auto m = gf2::Matrix::random_invertible(n, rng);
-  std::size_t gates = 0;
-  for (auto _ : state) gates = gf2::synthesize_pmh(m).size();
-  state.counters["cnots"] = static_cast<double>(gates);
-}
-BENCHMARK(BM_PmhSynthesis)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
-
 }  // namespace
 
-int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+int main() {
+  bench::Harness h("solvers");
+  for (std::size_t clusters : {16, 48}) {
+    const auto inst = random_instance(clusters, 4);
+    const auto bench_one = [&](const char* name, auto&& solve) {
+      double value = 0;
+      h.run(std::string("gtsp/") + name + "_" + std::to_string(clusters), 3,
+            [&] {
+              Rng rng(7);
+              value = solve(rng);
+            });
+      h.metric("value", value);
+    };
+    bench_one("ga", [&](Rng& r) { return opt::solve_gtsp_ga(inst, r).value; });
+    bench_one("greedy",
+              [&](Rng& r) { return opt::solve_gtsp_greedy(inst, r).value; });
+    bench_one("random",
+              [&](Rng& r) { return opt::solve_gtsp_random(inst, r, 50).value; });
+  }
+  for (std::size_t n : {8, 16, 32, 64}) {
+    Rng rng(11);
+    const auto m = gf2::Matrix::random_invertible(n, rng);
+    std::size_t gates = 0;
+    h.run("pmh_synthesis/n" + std::to_string(n), 5,
+          [&] { gates = gf2::synthesize_pmh(m).size(); });
+    h.metric("cnots", static_cast<double>(gates));
+  }
 
   std::printf("\n# E6a GTSP solution quality (higher is better)\n");
   std::printf("%9s %8s %8s %8s\n", "clusters", "ga", "greedy", "random");
@@ -96,7 +79,7 @@ int main(int argc, char** argv) {
 
   std::printf("\n# E6b SA cooling-schedule sweep: f(x)=(x-17)^2/10+3 sin x\n");
   std::printf("%8s %8s %12s\n", "steps", "t0", "best-f");
-  for (const auto [steps, t0] : {std::pair{200, 1.0}, {200, 5.0},
+  for (const auto& [steps, t0] : {std::pair{200, 1.0}, {200, 5.0},
                                  {2000, 1.0}, {2000, 5.0}, {8000, 5.0}}) {
     Rng rng(5);
     const auto energy = [](const int& x) {
@@ -116,8 +99,12 @@ int main(int argc, char** argv) {
   for (std::size_t n : {8, 16, 32, 64, 128}) {
     Rng rng(13);
     const auto m = gf2::Matrix::random_invertible(n, rng);
-    std::printf("%4zu %8zu %8zu\n", n, gf2::synthesize_pmh(m).size(),
-                gf2::synthesize_gauss(m).size());
+    const std::size_t c_pmh = gf2::synthesize_pmh(m).size();
+    const std::size_t c_gauss = gf2::synthesize_gauss(m).size();
+    std::printf("%4zu %8zu %8zu\n", n, c_pmh, c_gauss);
+    h.section("pmh_vs_gauss/n" + std::to_string(n));
+    h.metric("pmh", static_cast<double>(c_pmh));
+    h.metric("gauss", static_cast<double>(c_gauss));
   }
-  return 0;
+  return h.write_json() ? 0 : 1;
 }

@@ -4,11 +4,10 @@
 //    application, Hamiltonian expectation, as functions of qubit count.
 //  - Chemistry pipeline wall time per molecule (integrals + SCF + MO
 //    transform + FCI).
-#include <benchmark/benchmark.h>
-
 #include <cstdio>
-#include <chrono>
+#include <string>
 
+#include "bench_harness.hpp"
 #include "chem/fci.hpp"
 #include "chem/integrals.hpp"
 #include "chem/mo_integrals.hpp"
@@ -22,94 +21,92 @@ namespace {
 
 using namespace femto;
 
-void BM_GateApply(benchmark::State& state) {
-  const std::size_t n = static_cast<std::size_t>(state.range(0));
+void bench_gate_apply(bench::Harness& h, std::size_t n) {
   sim::StateVector sv(n);
   sv.apply_gate(circuit::Gate::h(0));
-  std::size_t ops = 0;
-  for (auto _ : state) {
-    for (std::size_t q = 0; q + 1 < n; ++q) {
-      sv.apply_cnot(q, q + 1);
-      ++ops;
-    }
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(ops));
+  h.run("gate_apply/cnot_chain_" + std::to_string(n) + "q", 5, [&] {
+    for (std::size_t q = 0; q + 1 < n; ++q) sv.apply_cnot(q, q + 1);
+  });
+  h.metric("gates", static_cast<double>(n - 1));
 }
-BENCHMARK(BM_GateApply)->Arg(10)->Arg(14)->Arg(18)->Unit(benchmark::kMillisecond);
 
-void BM_PauliExpApply(benchmark::State& state) {
-  const std::size_t n = static_cast<std::size_t>(state.range(0));
+void bench_pauli_exp(bench::Harness& h, std::size_t n) {
   sim::StateVector sv(n);
   pauli::PauliString p(n);
   for (std::size_t q = 0; q < n; q += 2) p.set_letter(q, pauli::Letter::X);
   for (std::size_t q = 1; q < n; q += 2) p.set_letter(q, pauli::Letter::Z);
-  for (auto _ : state) sv.apply_pauli_exp(p, 0.123);
+  h.run("pauli_exp/" + std::to_string(n) + "q", 5,
+        [&] { sv.apply_pauli_exp(p, 0.123); });
 }
-BENCHMARK(BM_PauliExpApply)->Arg(10)->Arg(14)->Arg(18)->Unit(benchmark::kMillisecond);
 
-void BM_WaterHamiltonianExpectation(benchmark::State& state) {
-  static pauli::PauliSum hq;
-  static std::size_t nq = 0;
-  if (nq == 0) {
-    const auto mol = chem::make_h2o();
-    auto basis = chem::build_sto3g(mol);
-    chem::normalize_basis(basis);
-    const auto ints = chem::compute_integrals(mol, basis);
-    const auto scf = chem::run_rhf(mol, ints);
-    const auto mo = chem::transform_to_mo(mol, ints, scf);
-    const auto so = chem::to_spin_orbitals(mo);
-    nq = so.n;
-    hq = transform::LinearEncoding::jordan_wigner(so.n).map(
-        chem::build_hamiltonian(so));
-  }
-  sim::StateVector sv(nq);
+void bench_water_expectation(bench::Harness& h) {
+  const auto mol = chem::make_h2o();
+  auto basis = chem::build_sto3g(mol);
+  chem::normalize_basis(basis);
+  const auto ints = chem::compute_integrals(mol, basis);
+  const auto scf = chem::run_rhf(mol, ints);
+  const auto mo = chem::transform_to_mo(mol, ints, scf);
+  const auto so = chem::to_spin_orbitals(mo);
+  const pauli::PauliSum hq =
+      transform::LinearEncoding::jordan_wigner(so.n).map(
+          chem::build_hamiltonian(so));
+  sim::StateVector sv(so.n);
   Rng rng(3);
   for (auto& a : sv.amplitudes()) a = sim::Complex(rng.normal(), rng.normal());
   sv.normalize();
   double e = 0;
-  for (auto _ : state) e = sv.expectation(hq).real();
-  state.counters["terms"] = static_cast<double>(hq.size());
-  state.counters["energy"] = e;
+  h.run("expectation/water_jw", 5, [&] { e = sv.expectation(hq).real(); });
+  h.metric("terms", static_cast<double>(hq.size()));
+  h.metric("energy", e);
 }
-BENCHMARK(BM_WaterHamiltonianExpectation)->Unit(benchmark::kMillisecond);
+
+void chemistry_pipeline(bench::Harness& h, const chem::Molecule& mol) {
+  auto basis = chem::build_sto3g(mol);
+  chem::normalize_basis(basis);
+  chem::IntegralTables ints;
+  const double t_ints =
+      bench::time_once([&] { ints = chem::compute_integrals(mol, basis); });
+  chem::ScfResult scf;
+  const double t_scf = bench::time_once([&] { scf = chem::run_rhf(mol, ints); });
+  chem::MoIntegrals mo;
+  chem::SpinOrbitalIntegrals so;
+  const double t_mo = bench::time_once([&] {
+    mo = chem::transform_to_mo(mol, ints, scf);
+    so = chem::to_spin_orbitals(mo);
+  });
+  chem::FciResult fci;
+  const double t_fci = bench::time_once([&] { fci = chem::run_fci(so); });
+  std::printf("%-8s %6zu %6zu | %10.1f %8.1f %8.1f %10.1f | %14.6f %14.6f\n",
+              mol.name.c_str(), ints.n, fci.dimension, t_ints * 1e3,
+              t_scf * 1e3, t_mo * 1e3, t_fci * 1e3, scf.total_energy,
+              fci.energy);
+  std::fflush(stdout);
+  h.section("pipeline/" + mol.name);
+  h.metric("ints_ms", t_ints * 1e3);
+  h.metric("scf_ms", t_scf * 1e3);
+  h.metric("mo_ms", t_mo * 1e3);
+  h.metric("fci_ms", t_fci * 1e3);
+  h.metric("e_scf", scf.total_energy);
+  h.metric("e_fci", fci.energy);
+}
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+int main() {
+  bench::Harness h("substrate");
+  for (std::size_t n : {10, 14, 18}) bench_gate_apply(h, n);
+  for (std::size_t n : {10, 14, 18}) bench_pauli_exp(h, n);
+  bench_water_expectation(h);
 
   std::printf("\n# E7 chemistry pipeline wall times\n");
   std::printf("%-8s %6s %6s | %10s %8s %8s %10s | %14s %14s\n", "molecule",
               "AOs", "dets", "ints(ms)", "scf(ms)", "mo(ms)", "fci(ms)",
               "E_scf", "E_fci");
-  const auto run = [](const chem::Molecule& mol) {
-    using clock = std::chrono::steady_clock;
-    const auto ms = [](clock::time_point a, clock::time_point b) {
-      return std::chrono::duration<double, std::milli>(b - a).count();
-    };
-    auto basis = chem::build_sto3g(mol);
-    chem::normalize_basis(basis);
-    const auto t0 = clock::now();
-    const auto ints = chem::compute_integrals(mol, basis);
-    const auto t1 = clock::now();
-    const auto scf = chem::run_rhf(mol, ints);
-    const auto t2 = clock::now();
-    const auto mo = chem::transform_to_mo(mol, ints, scf);
-    const auto so = chem::to_spin_orbitals(mo);
-    const auto t3 = clock::now();
-    const auto fci = chem::run_fci(so);
-    const auto t4 = clock::now();
-    std::printf("%-8s %6zu %6zu | %10.1f %8.1f %8.1f %10.1f | %14.6f %14.6f\n",
-                mol.name.c_str(), ints.n, fci.dimension, ms(t0, t1), ms(t1, t2),
-                ms(t2, t3), ms(t3, t4), scf.total_energy, fci.energy);
-    std::fflush(stdout);
-  };
-  run(chem::make_h2(1.4));
-  run(chem::make_lih());
-  run(chem::make_hf());
-  run(chem::make_beh2());
-  run(chem::make_h2o());
-  run(chem::make_nh3());
-  return 0;
+  chemistry_pipeline(h, chem::make_h2(1.4));
+  chemistry_pipeline(h, chem::make_lih());
+  chemistry_pipeline(h, chem::make_hf());
+  chemistry_pipeline(h, chem::make_beh2());
+  chemistry_pipeline(h, chem::make_h2o());
+  chemistry_pipeline(h, chem::make_nh3());
+  return h.write_json() ? 0 : 1;
 }

@@ -15,6 +15,8 @@
 // (see EXPERIMENTS.md).
 #include <cstdio>
 #include <map>
+
+#include "bench_harness.hpp"
 #include <string>
 #include <vector>
 
@@ -108,6 +110,7 @@ core::CompileOptions column_options(const std::string& column,
 }  // namespace
 
 int main() {
+  bench::Harness h("table1");
   std::vector<Row> rows = {
       {"HF", chem::make_hf(), 3, 30, 29, 25, 19},
       {"LiH", chem::make_lih(), 3, 30, 29, 25, 19},
@@ -142,12 +145,13 @@ int main() {
     const Prepared p = prepare(row.mol, row.ne);
     int counts[4] = {0, 0, 0, 0};
     const char* columns[4] = {"JW", "BK", "GT", "Adv"};
-    for (int c = 0; c < 4; ++c) {
-      const auto res =
-          core::compile_vqe(p.n, p.terms, column_options(columns[c],
-                                                         p.terms.size()));
-      counts[c] = res.model_cnots;
-    }
+    h.run("table1/" + row.label, 1, [&] {
+      for (int c = 0; c < 4; ++c) {
+        const auto res = core::compile_vqe(
+            p.n, p.terms, column_options(columns[c], p.terms.size()));
+        counts[c] = res.model_cnots;
+      }
+    });
     const double improve =
         counts[2] > 0 ? 100.0 * (counts[2] - counts[3]) / counts[2] : 0.0;
     const double paper_improve =
@@ -160,6 +164,12 @@ int main() {
         row.paper_bk, counts[2], row.paper_gt, counts[3], row.paper_adv,
         improve, paper_improve);
     std::fflush(stdout);
+    h.metric("jw", counts[0]);
+    h.metric("bk", counts[1]);
+    h.metric("gt", counts[2]);
+    h.metric("adv", counts[3]);
+    h.metric("improve_pct", improve);
+    h.metric("paper_improve_pct", paper_improve);
   }
-  return 0;
+  return h.write_json() ? 0 : 1;
 }

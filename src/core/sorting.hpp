@@ -248,10 +248,9 @@ struct IntraResult {
   std::vector<bool> used(blocks.size(), false);
   used[0] = true;
   std::size_t cur = 0;
-  std::size_t cur_target = blocks[0].target;
   for (std::size_t step = 1; step < blocks.size(); ++step) {
     int best = -1;
-    std::size_t best_next = 0, best_t1 = cur_target, best_t2 = 0;
+    std::size_t best_next = 0;
     for (std::size_t cand = 0; cand < blocks.size(); ++cand) {
       if (used[cand] || blocks[cand].string.same_letters(blocks[cur].string))
         continue;
@@ -262,8 +261,6 @@ struct IntraResult {
         if (s > best) {
           best = s;
           best_next = cand;
-          best_t1 = t1;
-          best_t2 = t1;
         }
       }
     }
@@ -273,14 +270,12 @@ struct IntraResult {
         if (!used[cand]) {
           best_next = cand;
           best = 0;
-          best_t2 = blocks[cand].target;
           break;
         }
     }
     total -= std::max(best, 0);
     used[best_next] = true;
     cur = best_next;
-    cur_target = best_t2;
   }
   return total;
 }

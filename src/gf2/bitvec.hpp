@@ -130,6 +130,14 @@ class BitVec {
   /// Word storage, exposed for hashing.
   [[nodiscard]] const std::vector<std::uint64_t>& words() const { return words_; }
 
+  /// The whole vector as one packed word. Only valid for size() <= 64; used
+  /// by the statevector kernels to turn Pauli x/z components into O(1)
+  /// per-index bit masks.
+  [[nodiscard]] std::uint64_t mask64() const {
+    FEMTO_EXPECTS(n_ <= 64);
+    return words_.empty() ? 0 : words_[0];
+  }
+
  private:
   std::size_t n_ = 0;
   std::vector<std::uint64_t> words_;

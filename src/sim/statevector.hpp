@@ -4,14 +4,21 @@
 // every femto gate, direct Pauli-string exponentials (for fast exact ansatz
 // application), PauliSum expectation values and H|psi> products (for VQE
 // energies, adjoint gradients and Lanczos).
+//
+// Gate application is delegated to the stride-based kernels in
+// sim/kernels.hpp: pairs are enumerated directly (no branch-in-loop over all
+// 2^n indices), diagonal gates fuse into streaming passes, and consecutive
+// diagonal gates on one qubit collapse into a single pass in apply_circuit.
 #pragma once
 
 #include <complex>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "circuit/quantum_circuit.hpp"
 #include "pauli/pauli_sum.hpp"
+#include "sim/kernels.hpp"
 
 namespace femto::sim {
 
@@ -45,61 +52,41 @@ class StateVector {
 
   void apply_matrix1(std::size_t q, Complex m00, Complex m01, Complex m10,
                      Complex m11) {
-    const std::size_t bit = std::size_t{1} << q;
-    for (std::size_t i = 0; i < amps_.size(); ++i) {
-      if (i & bit) continue;
-      const Complex a0 = amps_[i];
-      const Complex a1 = amps_[i | bit];
-      amps_[i] = m00 * a0 + m01 * a1;
-      amps_[i | bit] = m10 * a0 + m11 * a1;
-    }
+    FEMTO_EXPECTS(q < n_);
+    kernels::apply_matrix1(amps_.data(), amps_.size(), q, m00, m01, m10, m11);
+  }
+
+  /// Diagonal gate diag(d0, d1) on qubit q (single streaming pass).
+  void apply_diag1(std::size_t q, Complex d0, Complex d1) {
+    FEMTO_EXPECTS(q < n_);
+    kernels::apply_diag1(amps_.data(), amps_.size(), q, d0, d1);
   }
 
   void apply_cnot(std::size_t c, std::size_t t) {
-    const std::size_t cb = std::size_t{1} << c;
-    const std::size_t tb = std::size_t{1} << t;
-    for (std::size_t i = 0; i < amps_.size(); ++i)
-      if ((i & cb) && !(i & tb)) std::swap(amps_[i], amps_[i | tb]);
+    FEMTO_EXPECTS(c < n_ && t < n_ && c != t);
+    kernels::apply_cnot(amps_.data(), amps_.size(), c, t);
   }
 
   void apply_cz(std::size_t a, std::size_t b) {
-    const std::size_t mask = (std::size_t{1} << a) | (std::size_t{1} << b);
-    for (std::size_t i = 0; i < amps_.size(); ++i)
-      if ((i & mask) == mask) amps_[i] = -amps_[i];
+    FEMTO_EXPECTS(a < n_ && b < n_ && a != b);
+    kernels::apply_cz(amps_.data(), amps_.size(), a, b);
   }
 
   void apply_swap(std::size_t a, std::size_t b) {
-    const std::size_t ab = std::size_t{1} << a;
-    const std::size_t bb = std::size_t{1} << b;
-    for (std::size_t i = 0; i < amps_.size(); ++i)
-      if ((i & ab) && !(i & bb)) std::swap(amps_[i], amps_[(i ^ ab) | bb]);
+    FEMTO_EXPECTS(a < n_ && b < n_ && a != b);
+    kernels::apply_swap(amps_.data(), amps_.size(), a, b);
   }
 
   /// exp(-i angle/2 X@X).
   void apply_xxrot(std::size_t a, std::size_t b, double angle) {
-    const std::size_t mask = (std::size_t{1} << a) | (std::size_t{1} << b);
-    const double c = std::cos(angle / 2), s = std::sin(angle / 2);
-    for (std::size_t i = 0; i < amps_.size(); ++i) {
-      const std::size_t j = i ^ mask;
-      if (j < i) continue;
-      const Complex ai = amps_[i], aj = amps_[j];
-      amps_[i] = c * ai - Complex(0, s) * aj;
-      amps_[j] = c * aj - Complex(0, s) * ai;
-    }
+    FEMTO_EXPECTS(a < n_ && b < n_ && a != b);
+    kernels::apply_xxrot(amps_.data(), amps_.size(), a, b, angle);
   }
 
   /// exp(-i angle/2 (X@X + Y@Y)): rotation inside the {01,10} subspace.
   void apply_xyrot(std::size_t a, std::size_t b, double angle) {
-    const std::size_t ab = std::size_t{1} << a;
-    const std::size_t bb = std::size_t{1} << b;
-    const double c = std::cos(angle), s = std::sin(angle);
-    for (std::size_t i = 0; i < amps_.size(); ++i) {
-      if (!(i & ab) || (i & bb)) continue;  // i has a=1, b=0
-      const std::size_t j = (i ^ ab) | bb;  // a=0, b=1
-      const Complex ai = amps_[i], aj = amps_[j];
-      amps_[i] = c * ai - Complex(0, s) * aj;
-      amps_[j] = c * aj - Complex(0, s) * ai;
-    }
+    FEMTO_EXPECTS(a < n_ && b < n_ && a != b);
+    kernels::apply_xyrot(amps_.data(), amps_.size(), a, b, angle);
   }
 
   // --- circuits --------------------------------------------------------
@@ -107,27 +94,22 @@ class StateVector {
   void apply_gate(const circuit::Gate& g,
                   std::span<const double> params = {}) {
     using circuit::GateKind;
-    const double angle =
-        g.param >= 0
-            ? g.angle * params[static_cast<std::size_t>(g.param)]
-            : g.angle;
+    const double angle = resolved_angle(g, params);
     const double half = angle / 2;
     const Complex i_unit{0.0, 1.0};
+    if (is_diag1(g.kind)) {
+      const auto [d0, d1] = diag_of(g, params);
+      apply_diag1(g.q0, d0, d1);
+      return;
+    }
     switch (g.kind) {
       case GateKind::kX: apply_matrix1(g.q0, 0, 1, 1, 0); break;
       case GateKind::kY: apply_matrix1(g.q0, 0, -i_unit, i_unit, 0); break;
-      case GateKind::kZ: apply_matrix1(g.q0, 1, 0, 0, -1); break;
       case GateKind::kH: {
         const double s = 1.0 / std::sqrt(2.0);
         apply_matrix1(g.q0, s, s, s, -s);
         break;
       }
-      case GateKind::kS: apply_matrix1(g.q0, 1, 0, 0, i_unit); break;
-      case GateKind::kSdg: apply_matrix1(g.q0, 1, 0, 0, -i_unit); break;
-      case GateKind::kRz:
-        apply_matrix1(g.q0, std::exp(-i_unit * half), 0, 0,
-                      std::exp(i_unit * half));
-        break;
       case GateKind::kRx:
         apply_matrix1(g.q0, std::cos(half), -i_unit * std::sin(half),
                       -i_unit * std::sin(half), std::cos(half));
@@ -141,13 +123,35 @@ class StateVector {
       case GateKind::kSwap: apply_swap(g.q0, g.q1); break;
       case GateKind::kXXrot: apply_xxrot(g.q0, g.q1, angle); break;
       case GateKind::kXYrot: apply_xyrot(g.q0, g.q1, angle); break;
+      case GateKind::kZ:
+      case GateKind::kS:
+      case GateKind::kSdg:
+      case GateKind::kRz: break;  // handled by the diagonal path above
     }
   }
 
   void apply_circuit(const circuit::QuantumCircuit& c,
                      std::span<const double> params = {}) {
     FEMTO_EXPECTS(c.num_qubits() <= n_);
-    for (const circuit::Gate& g : c.gates()) apply_gate(g, params);
+    const auto& gates = c.gates();
+    for (std::size_t k = 0; k < gates.size(); ++k) {
+      const circuit::Gate& g = gates[k];
+      if (is_diag1(g.kind)) {
+        // Fuse a run of consecutive diagonal gates on the same qubit into
+        // one streaming pass.
+        auto [d0, d1] = diag_of(g, params);
+        while (k + 1 < gates.size() && is_diag1(gates[k + 1].kind) &&
+               gates[k + 1].q0 == g.q0) {
+          ++k;
+          const auto [e0, e1] = diag_of(gates[k], params);
+          d0 *= e0;
+          d1 *= e1;
+        }
+        apply_diag1(g.q0, d0, d1);
+        continue;
+      }
+      apply_gate(g, params);
+    }
   }
 
   // --- Pauli strings ---------------------------------------------------
@@ -158,37 +162,16 @@ class StateVector {
     FEMTO_EXPECTS(p.is_hermitian());
     const double sgn = p.sign().real();
     const double half = sgn * angle / 2;
-    const StringMasks m = masks(p);
-    const double c = std::cos(half), s = std::sin(half);
-    const Complex mis{0.0, -s};
-    if (m.x == 0) {
-      for (std::size_t i = 0; i < amps_.size(); ++i)
-        amps_[i] *= Complex(c, 0) + mis * m.phase(i);
-      return;
-    }
-    for (std::size_t i = 0; i < amps_.size(); ++i) {
-      const std::size_t j = i ^ m.x;
-      if (j < i) continue;
-      // L|i> = p_i |j>, L|j> = p_j |i>, with p_i p_j = 1.
-      const Complex pi = m.phase(i);
-      const Complex pj = m.phase(j);
-      const Complex ai = amps_[i], aj = amps_[j];
-      amps_[i] = c * ai + mis * pj * aj;
-      amps_[j] = c * aj + mis * pi * ai;
-    }
+    kernels::apply_pauli_exp(amps_.data(), amps_.size(), masks(p),
+                             std::cos(half), std::sin(half));
   }
 
   /// out += coeff * P |this>.
   void accumulate_pauli(const pauli::PauliString& p, Complex coeff,
                         std::vector<Complex>& out) const {
     FEMTO_EXPECTS(out.size() == amps_.size());
-    const StringMasks m = masks(p);
-    const Complex c = coeff * p.sign();
-    for (std::size_t i = 0; i < amps_.size(); ++i) {
-      const std::size_t j = i ^ m.x;
-      // P|i> = phase(i) |j>  =>  (P psi)[j] += phase(i) psi[i]
-      out[j] += c * m.phase(i) * amps_[i];
-    }
+    kernels::accumulate_pauli(amps_.data(), amps_.size(), masks(p),
+                              coeff * p.sign(), out.data());
   }
 
   /// H |this> for a PauliSum H.
@@ -229,33 +212,43 @@ class StateVector {
   }
 
  private:
-  [[nodiscard]] static std::size_t mask_of(const gf2::BitVec& v) {
-    std::size_t mask = 0;
-    for (std::size_t q = 0; q < v.size(); ++q)
-      if (v.get(q)) mask |= std::size_t{1} << q;
-    return mask;
+  [[nodiscard]] static double resolved_angle(const circuit::Gate& g,
+                                             std::span<const double> params) {
+    return g.param >= 0
+               ? g.angle * params[static_cast<std::size_t>(g.param)]
+               : g.angle;
   }
 
-  /// Precomputed bit masks of a string for O(1) per-index phases.
-  /// Letter action on |i>: X -> 1, Y -> i(-1)^bit, Z -> (-1)^bit, so
-  /// phase(i) = i^{#Y} * (-1)^{popcount(i & zmask)} (letter sign excluded;
-  /// callers fold it in).
-  struct StringMasks {
-    std::size_t x = 0;  // bit-flip mask (X and Y sites)
-    std::size_t z = 0;  // phase mask (Z and Y sites)
-    Complex y_factor{1.0, 0.0};  // i^{#Y}
+  [[nodiscard]] static bool is_diag1(circuit::GateKind k) {
+    using circuit::GateKind;
+    return k == GateKind::kZ || k == GateKind::kS || k == GateKind::kSdg ||
+           k == GateKind::kRz;
+  }
 
-    [[nodiscard]] Complex phase(std::size_t i) const {
-      const bool minus = __builtin_popcountll(i & z) & 1;
-      return minus ? -y_factor : y_factor;
+  /// Diagonal (d0, d1) of a single-qubit diagonal gate.
+  [[nodiscard]] static std::pair<Complex, Complex> diag_of(
+      const circuit::Gate& g, std::span<const double> params) {
+    using circuit::GateKind;
+    const Complex i_unit{0.0, 1.0};
+    switch (g.kind) {
+      case GateKind::kZ: return {{1.0, 0.0}, {-1.0, 0.0}};
+      case GateKind::kS: return {{1.0, 0.0}, i_unit};
+      case GateKind::kSdg: return {{1.0, 0.0}, -i_unit};
+      case GateKind::kRz: {
+        const double half = resolved_angle(g, params) / 2;
+        return {std::exp(-i_unit * half), std::exp(i_unit * half)};
+      }
+      default: FEMTO_EXPECTS(false && "not a single-qubit diagonal gate");
     }
-  };
+    return {{1.0, 0.0}, {1.0, 0.0}};
+  }
 
-  [[nodiscard]] static StringMasks masks(const pauli::PauliString& p) {
-    StringMasks m;
-    m.x = mask_of(p.x());
-    m.z = mask_of(p.z());
-    switch ((p.x() & p.z()).popcount() & 3) {
+  /// Packed masks of a string (n_ <= 28, so one word holds everything).
+  [[nodiscard]] static kernels::PauliMasks masks(const pauli::PauliString& p) {
+    kernels::PauliMasks m;
+    m.x = p.x().mask64();
+    m.z = p.z().mask64();
+    switch (std::popcount(m.x & m.z) & 3) {
       case 1: m.y_factor = Complex(0, 1); break;
       case 2: m.y_factor = Complex(-1, 0); break;
       case 3: m.y_factor = Complex(0, -1); break;

@@ -187,5 +187,45 @@ TEST(Synthesis, ApplyNetworkMatchesMatrixApply) {
   }
 }
 
+TEST_P(SynthesisProperty, InverseNetworkRoundTrip) {
+  // Synthesizing M and M^-1 and applying both networks in sequence must act
+  // as the identity on random vectors.
+  const std::size_t n = GetParam();
+  Rng rng(83 + n);
+  const Matrix m = Matrix::random_invertible(n, rng);
+  const auto inv = m.inverse();
+  ASSERT_TRUE(inv.has_value());
+  const auto fwd = synthesize_pmh(m);
+  const auto bwd = synthesize_pmh(*inv);
+  for (int rep = 0; rep < 20; ++rep) {
+    BitVec x(n);
+    for (std::size_t i = 0; i < n; ++i) x.set(i, rng.bernoulli(0.5));
+    EXPECT_EQ(apply_network(bwd, apply_network(fwd, x)), x);
+  }
+}
+
+TEST_P(SynthesisProperty, EverySectionSizeRecomposes) {
+  // The PMH section size is a performance knob, never a correctness one:
+  // all of 1..n must reproduce the matrix exactly.
+  const std::size_t n = GetParam();
+  Rng rng(97 + n);
+  const Matrix m = Matrix::random_invertible(n, rng);
+  for (std::size_t section = 1; section <= n; ++section)
+    EXPECT_EQ(network_matrix(n, synthesize_pmh(m, section)), m)
+        << "section " << section;
+}
+
+TEST(BitVec, Mask64PacksLowWord) {
+  BitVec v(28);
+  v.set(0, true);
+  v.set(3, true);
+  v.set(27, true);
+  EXPECT_EQ(v.mask64(), (1ULL << 0) | (1ULL << 3) | (1ULL << 27));
+  EXPECT_EQ(BitVec(0).mask64(), 0u);
+  EXPECT_EQ(BitVec(64).mask64(), 0u);
+  BitVec full = BitVec::from_string("1101");
+  EXPECT_EQ(full.mask64(), 0b1011ULL);
+}
+
 }  // namespace
 }  // namespace femto::gf2

@@ -68,9 +68,10 @@ TEST_P(CompilerMatrix, CountingInvariants) {
   // Naive upper bound: every term fermionic, no savings.
   int naive = 0;
   const auto jw = transform::LinearEncoding::jordan_wigner(10);
-  for (const auto& t : terms)
-    for (const auto& pt : jw.map(t.generator()).terms())
-      naive += synth::string_cost(pt.string);
+  for (const auto& t : terms) {
+    const auto mapped = jw.map(t.generator());
+    for (const auto& pt : mapped.terms()) naive += synth::string_cost(pt.string);
+  }
   EXPECT_LE(res.model_cnots, naive);
 }
 

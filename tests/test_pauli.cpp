@@ -258,5 +258,140 @@ TEST(PauliSum, PruneDropsZeros) {
   EXPECT_EQ(a.size(), 1u);
 }
 
+// --- randomized conjugation properties, verified against dense matrices ---
+
+[[nodiscard]] Dense dense_adjoint(const Dense& m) {
+  const std::size_t dim = m.size();
+  Dense out(dim, std::vector<Complex>(dim, {0, 0}));
+  for (std::size_t i = 0; i < dim; ++i)
+    for (std::size_t j = 0; j < dim; ++j) out[i][j] = std::conj(m[j][i]);
+  return out;
+}
+
+[[nodiscard]] Dense dense_h_gate(std::size_t n, std::size_t q) {
+  const std::size_t dim = std::size_t{1} << n;
+  const std::size_t bit = std::size_t{1} << q;
+  const double s = 1.0 / std::sqrt(2.0);
+  Dense m(dim, std::vector<Complex>(dim, {0, 0}));
+  for (std::size_t col = 0; col < dim; ++col) {
+    m[col & ~bit][col] = s;
+    m[col | bit][col] = (col & bit) ? -s : s;
+  }
+  return m;
+}
+
+[[nodiscard]] Dense dense_s_gate(std::size_t n, std::size_t q) {
+  const std::size_t dim = std::size_t{1} << n;
+  const std::size_t bit = std::size_t{1} << q;
+  Dense m(dim, std::vector<Complex>(dim, {0, 0}));
+  for (std::size_t col = 0; col < dim; ++col)
+    m[col][col] = (col & bit) ? Complex(0, 1) : Complex(1, 0);
+  return m;
+}
+
+[[nodiscard]] Dense dense_cnot_gate(std::size_t n, std::size_t c,
+                                    std::size_t t) {
+  const std::size_t dim = std::size_t{1} << n;
+  const std::size_t cb = std::size_t{1} << c;
+  const std::size_t tb = std::size_t{1} << t;
+  Dense m(dim, std::vector<Complex>(dim, {0, 0}));
+  for (std::size_t col = 0; col < dim; ++col)
+    m[(col & cb) ? (col ^ tb) : col][col] = 1.0;
+  return m;
+}
+
+class CliffordConjugation : public ::testing::TestWithParam<std::size_t> {};
+
+/// Per-gate property: for random strings and random CNOT/H/S choices,
+/// conj_*(P) must equal U P U^dag as dense matrices -- this pins the exact
+/// phase (the -X@Z class of sign cases), not just the letters.
+TEST_P(CliffordConjugation, SingleGateMatchesDense) {
+  const std::size_t n = GetParam();
+  Rng rng(0x777 + n);
+  PauliString p = random_string(n, rng);
+  for (int step = 0; step < 40; ++step) {
+    const int which = static_cast<int>(rng.index(3));
+    const std::size_t q = rng.index(n);
+    Dense u;
+    PauliString conj(n);
+    if (which == 0 && n >= 2) {
+      std::size_t t = rng.index(n);
+      while (t == q) t = rng.index(n);
+      u = dense_cnot_gate(n, q, t);
+      conj = CliffordMap::conj_cnot(p, q, t);
+    } else if (which == 1) {
+      u = dense_h_gate(n, q);
+      conj = CliffordMap::conj_h(p, q);
+    } else {
+      u = dense_s_gate(n, q);
+      conj = CliffordMap::conj_s(p, q);
+    }
+    const Dense expected = dense_mul(dense_mul(u, dense_of(p)), dense_adjoint(u));
+    EXPECT_LT(dense_dist(dense_of(conj), expected), 1e-12)
+        << "step " << step << ": " << p.to_string() << " -> "
+        << conj.to_string();
+    p = conj;  // walk a random Clifford orbit
+  }
+}
+
+/// Composed property: folding gates into a CliffordMap via then_* must
+/// agree with conjugation by the dense product of the whole circuit.
+TEST_P(CliffordConjugation, ComposedMapMatchesDenseCircuit) {
+  const std::size_t n = GetParam();
+  Rng rng(0x999 + n);
+  CliffordMap map(n);
+  const std::size_t dim = std::size_t{1} << n;
+  Dense u(dim, std::vector<Complex>(dim, {0, 0}));
+  for (std::size_t i = 0; i < dim; ++i) u[i][i] = 1.0;
+  for (int step = 0; step < 12; ++step) {
+    const int which = static_cast<int>(rng.index(3));
+    const std::size_t q = rng.index(n);
+    if (which == 0 && n >= 2) {
+      std::size_t t = rng.index(n);
+      while (t == q) t = rng.index(n);
+      map.then_cnot(q, t);
+      u = dense_mul(dense_cnot_gate(n, q, t), u);
+    } else if (which == 1) {
+      map.then_hadamard(q);
+      u = dense_mul(dense_h_gate(n, q), u);
+    } else {
+      map.then_phase(q);
+      u = dense_mul(dense_s_gate(n, q), u);
+    }
+  }
+  const Dense u_dag = dense_adjoint(u);
+  for (int rep = 0; rep < 10; ++rep) {
+    const PauliString p = random_string(n, rng);
+    const Dense expected = dense_mul(dense_mul(u, dense_of(p)), u_dag);
+    EXPECT_LT(dense_dist(dense_of(map.apply(p)), expected), 1e-12)
+        << p.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CliffordConjugation,
+                         ::testing::Values(1, 2, 3, 4));
+
+TEST(CliffordConjugation, MinusXZSignFamily) {
+  // The sign cases called out in pauli_string.hpp: CNOT (Y@Y) CNOT = -X@Z,
+  // and its orbit under swapping letters / roles.
+  EXPECT_EQ(CliffordMap::conj_cnot(PauliString::from_string("YY"), 0, 1)
+                .to_string(),
+            "-XZ");
+  EXPECT_EQ(CliffordMap::conj_cnot(PauliString::from_string("YX"), 0, 1)
+                .to_string(),
+            "+YI");
+  EXPECT_EQ(CliffordMap::conj_cnot(PauliString::from_string("XY"), 0, 1)
+                .to_string(),
+            "+YZ");
+  EXPECT_EQ(CliffordMap::conj_cnot(PauliString::from_string("ZZ"), 0, 1)
+                .to_string(),
+            "+IZ");
+  // S Y S^dag = -X on either of two qubits, phases independent.
+  EXPECT_EQ(CliffordMap::conj_s(PauliString::from_string("YY"), 0).to_string(),
+            "-XY");
+  EXPECT_EQ(CliffordMap::conj_s(PauliString::from_string("-YY"), 1).to_string(),
+            "+YX");
+}
+
 }  // namespace
 }  // namespace femto::pauli

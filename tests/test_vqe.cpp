@@ -124,7 +124,9 @@ TEST(VqeDriver, GrowthCurveMonotoneAndConvergesLih) {
   ASSERT_EQ(curve.size(), 6u);
   for (std::size_t k = 0; k < curve.size(); ++k) {
     EXPECT_LE(curve[k].energy, s.scf_energy + 1e-9);
-    if (k > 0) EXPECT_LE(curve[k].energy, curve[k - 1].energy + 1e-9);
+    if (k > 0) {
+      EXPECT_LE(curve[k].energy, curve[k - 1].energy + 1e-9);
+    }
     EXPECT_GE(curve[k].energy, s.fci_energy - 1e-9);
   }
 }
