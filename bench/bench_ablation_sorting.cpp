@@ -4,87 +4,69 @@
 //   none      : natural string order, first-support targets
 //   baseline  : per-term shared target + exact intra order + doubly greedy
 //   gtsp-ga   : the paper's joint GTSP (order + per-string targets)
-// plus wall-time per mode (google-benchmark).
+// The three modes of each ansatz size are batch-compiled in one
+// CompilePipeline call (core/pipeline.hpp), so the sweep saturates every
+// available worker; the per-size timed section measures the whole batch.
 #include <cstdio>
 #include <string>
+#include <vector>
 
+#include "bench_fixtures.hpp"
 #include "bench_harness.hpp"
 
-#include "chem/integrals.hpp"
-#include "chem/mo_integrals.hpp"
-#include "chem/molecules.hpp"
-#include "chem/scf.hpp"
-#include "core/compiler.hpp"
-#include "vqe/uccsd.hpp"
+#include "core/pipeline.hpp"
 
 namespace {
 
 using namespace femto;
 
-struct Fixture {
-  std::size_t n = 0;
-  std::vector<fermion::ExcitationTerm> terms;
-};
+constexpr const char* kModeNames[] = {"none", "baseline", "gtsp_ga"};
+constexpr core::SortingMode kModes[] = {core::SortingMode::kNone,
+                                        core::SortingMode::kBaseline,
+                                        core::SortingMode::kAdvanced};
 
-const Fixture& water_terms(std::size_t ne) {
-  static Fixture fixtures[32];
-  Fixture& f = fixtures[ne];
-  if (f.n == 0) {
-    const auto mol = chem::make_h2o();
-    auto basis = chem::build_sto3g(mol);
-    chem::normalize_basis(basis);
-    const auto ints = chem::compute_integrals(mol, basis);
-    const auto scf = chem::run_rhf(mol, ints);
-    const auto mo = chem::transform_to_mo(mol, ints, scf);
-    const auto so = chem::to_spin_orbitals(mo);
-    const auto all = vqe::uccsd_hmp2_terms(so);
-    f.n = so.n;
-    f.terms.assign(all.begin(),
-                   all.begin() + static_cast<std::ptrdiff_t>(ne));
+/// The three sorting-mode scenarios of one ansatz size (JW, no compression:
+/// isolates sorting).
+std::vector<core::CompileScenario> mode_scenarios(std::size_t ne) {
+  const bench::TermFixture& f = bench::water_terms(ne);
+  std::vector<core::CompileScenario> scenarios;
+  for (std::size_t m = 0; m < 3; ++m) {
+    core::CompileScenario s;
+    s.name = std::string(kModeNames[m]) + "_water" + std::to_string(ne);
+    s.num_qubits = f.n;
+    s.terms = f.terms;
+    s.options.emit_circuit = false;
+    s.options.transform = core::TransformKind::kJordanWigner;
+    s.options.compression = core::CompressionMode::kNone;
+    s.options.sorting = kModes[m];
+    scenarios.push_back(std::move(s));
   }
-  return f;
-}
-
-int count_with_sorting(const Fixture& f, core::SortingMode mode) {
-  core::CompileOptions opt;
-  opt.emit_circuit = false;
-  opt.transform = core::TransformKind::kJordanWigner;  // isolate sorting
-  opt.compression = core::CompressionMode::kNone;      // all-fermionic
-  opt.sorting = mode;
-  return core::compile_vqe(f.n, f.terms, opt).model_cnots;
-}
-
-void bench_sorting(bench::Harness& h, const char* name,
-                   core::SortingMode mode, std::size_t ne) {
-  const Fixture& f = water_terms(ne);
-  int count = 0;
-  h.run(std::string("sort/") + name + "_water" + std::to_string(ne), 3,
-        [&] { count = count_with_sorting(f, mode); });
-  h.metric("cnots", count);
+  return scenarios;
 }
 
 }  // namespace
 
 int main() {
   bench::Harness h("ablation_sorting");
+  core::CompilePipeline pipeline;
   for (std::size_t ne : {4, 8, 12}) {
-    bench_sorting(h, "none", core::SortingMode::kNone, ne);
-    bench_sorting(h, "baseline", core::SortingMode::kBaseline, ne);
-    bench_sorting(h, "gtsp_ga", core::SortingMode::kAdvanced, ne);
+    const auto scenarios = mode_scenarios(ne);
+    std::vector<core::CompileResult> results;
+    h.run("sort/batch_water" + std::to_string(ne), 3,
+          [&] { results = pipeline.compile_batch(scenarios); });
+    for (std::size_t m = 0; m < results.size(); ++m)
+      h.metric(kModeNames[m], results[m].model_cnots);
   }
-  // Summary table (the ablation result itself).
+  // Summary table (the ablation result itself), one batch per size.
   std::printf("\n# E3 sorting ablation (water, JW, no compression)\n");
   std::printf("%4s %8s %10s %9s\n", "Ne", "none", "baseline", "gtsp-ga");
   for (std::size_t ne : {4, 8, 12, 17}) {
-    const Fixture& f = water_terms(ne);
-    const int c_none = count_with_sorting(f, core::SortingMode::kNone);
-    const int c_base = count_with_sorting(f, core::SortingMode::kBaseline);
-    const int c_adv = count_with_sorting(f, core::SortingMode::kAdvanced);
-    std::printf("%4zu %8d %10d %9d\n", ne, c_none, c_base, c_adv);
+    const auto results = pipeline.compile_batch(mode_scenarios(ne));
+    std::printf("%4zu %8d %10d %9d\n", ne, results[0].model_cnots,
+                results[1].model_cnots, results[2].model_cnots);
     h.section("summary/water" + std::to_string(ne));
-    h.metric("none", c_none);
-    h.metric("baseline", c_base);
-    h.metric("gtsp_ga", c_adv);
+    for (std::size_t m = 0; m < results.size(); ++m)
+      h.metric(kModeNames[m], results[m].model_cnots);
   }
   return h.write_json() ? 0 : 1;
 }

@@ -1,0 +1,47 @@
+// Shared chemistry fixtures for the bench binaries.
+//
+// The water UCCSD term sets are built once per ansatz size and cached
+// (static storage), so every bench section after the first reuses them.
+// Build the fixture *before* handing work to a thread pool: the lazy static
+// init here is not guarded for concurrent first-touch of the same size.
+#pragma once
+
+#include <vector>
+
+#include "chem/integrals.hpp"
+#include "chem/mo_integrals.hpp"
+#include "chem/molecules.hpp"
+#include "chem/scf.hpp"
+#include "fermion/excitation.hpp"
+#include "vqe/uccsd.hpp"
+
+namespace femto::bench {
+
+struct TermFixture {
+  std::size_t n = 0;
+  std::vector<fermion::ExcitationTerm> terms;
+};
+
+/// Water / STO-3G UCCSD terms ranked by HMP2 importance, truncated to the
+/// top `ne` (ne <= 31).
+inline const TermFixture& water_terms(std::size_t ne) {
+  static TermFixture fixtures[32];
+  TermFixture& f = fixtures[ne];
+  if (f.n == 0) {
+    const auto mol = chem::make_h2o();
+    auto basis = chem::build_sto3g(mol);
+    chem::normalize_basis(basis);
+    const auto ints = chem::compute_integrals(mol, basis);
+    const auto scf = chem::run_rhf(mol, ints);
+    const auto mo = chem::transform_to_mo(mol, ints, scf);
+    const auto so = chem::to_spin_orbitals(mo);
+    const auto all = vqe::uccsd_hmp2_terms(so);
+    FEMTO_EXPECTS(ne <= all.size());
+    f.n = so.n;
+    f.terms.assign(all.begin(),
+                   all.begin() + static_cast<std::ptrdiff_t>(ne));
+  }
+  return f;
+}
+
+}  // namespace femto::bench

@@ -3,6 +3,11 @@
 // All stochastic solvers in femto (simulated annealing, the GTSP genetic
 // algorithm, particle swarm, randomized coloring) draw from an explicitly
 // seeded Rng so that every experiment in bench/ is reproducible run-to-run.
+//
+// Multi-restart / multi-threaded work derives per-stream seeds from a single
+// master seed with splitmix64 mixing: stream k's sequence depends only on
+// (master, k), never on which thread runs it or in what order, which is what
+// makes the compilation pipeline's results thread-count invariant.
 #pragma once
 
 #include <algorithm>
@@ -13,10 +18,34 @@
 
 namespace femto {
 
+/// One step of the splitmix64 mixer (Steele, Lea & Flood): a bijective
+/// avalanche function on 64-bit words.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Seed of independent stream `stream` derived from `master`. Pure function
+/// of its inputs; distinct streams decorrelate through double splitmix64
+/// mixing. Stream 0 is *not* the master seed -- callers that need
+/// "stream 0 == single shot" semantics (the compile pipeline) special-case
+/// stream 0 themselves.
+[[nodiscard]] constexpr std::uint64_t derive_stream_seed(std::uint64_t master,
+                                                         std::uint64_t stream) {
+  return splitmix64(splitmix64(master) ^ splitmix64(~stream));
+}
+
 /// Thin wrapper over std::mt19937_64 with convenience draws.
 class Rng {
  public:
   explicit Rng(std::uint64_t seed = 0x5eed5eedULL) : engine_(seed) {}
+
+  /// Rng over derived stream `stream` of `master` (see derive_stream_seed).
+  [[nodiscard]] static Rng stream(std::uint64_t master, std::uint64_t stream) {
+    return Rng(derive_stream_seed(master, stream));
+  }
 
   /// Uniform integer in [0, n), n > 0.
   [[nodiscard]] std::size_t index(std::size_t n) {

@@ -8,6 +8,15 @@
 //  level labeling, per-term shared targets with exact intra-term ordering
 //  and doubly-greedy inter-term ordering.
 //
+// Structure: compilation runs as a three-stage pipeline over one shared
+// deterministic Rng --
+//   stage_plan      classification, hybrid plan, compression bookkeeping,
+//   stage_transform Gamma search (SA / PSO / fixed),
+//   stage_emit      ordered generators, segment sorting and synthesis --
+// so a compile is a pure function of (n, terms, options). Multi-restart and
+// batch entry points that schedule many such compiles on a thread pool live
+// in core/pipeline.hpp.
+//
 // Accounting (see EXPERIMENTS.md): "model" CNOTs follow the paper's cost
 // model -- 2 per bosonic term, sum of string costs minus interface savings
 // per segment, plus one CNOT per pair decompression; "emitted" CNOTs count
@@ -30,6 +39,7 @@
 #include "encoding/compressed_ops.hpp"
 #include "encoding/hybrid_plan.hpp"
 #include "synth/pauli_exponential.hpp"
+#include "synth/synthesis_cache.hpp"
 #include "transform/linear_encoding.hpp"
 
 namespace femto::core {
@@ -63,6 +73,10 @@ struct CompileOptions {
   opt::GtspOptions gtsp_options{};
   std::uint64_t seed = 20230306;
   bool emit_circuit = true;
+  /// Optional shared memo for per-segment synthesis (core/pipeline.hpp
+  /// injects one per multi-restart / batch run). Exact memoization of a pure
+  /// function: results are bit-identical with or without it.
+  synth::SynthesisCache* synthesis_cache = nullptr;
 };
 
 struct SegmentReport {
@@ -208,17 +222,28 @@ inline void emit_bosonic(circuit::PeepholeBuilder& out,
   out.push(circuit::Gate::s(r));
 }
 
-}  // namespace detail
+/// Intermediate state handed between the compile stages. Owned by one
+/// compile call; never shared across threads.
+struct StageContext {
+  std::size_t n = 0;
+  const std::vector<fermion::ExcitationTerm>* terms = nullptr;
+  const CompileOptions* options = nullptr;
+  std::vector<DecompressionEvent> events;
+  std::vector<std::size_t> pairs;
+  std::vector<std::size_t> still_compressed;
+  std::vector<std::size_t> pair_members;  // Gamma-banned qubits
+  std::vector<fermion::ExcitationTerm> fermionic_terms;
+  std::vector<std::size_t> allowed;  // indices Gamma may act on
+  std::vector<std::vector<synth::RotationBlock>> fermionic_jw_blocks;
+};
 
-/// Full compilation entry point.
-[[nodiscard]] inline CompileResult compile_vqe(
-    std::size_t n, const std::vector<fermion::ExcitationTerm>& terms,
-    const CompileOptions& options = {}) {
-  Rng rng(options.seed);
-  CompileResult result;
-  result.num_qubits = n;
+/// Stage 1: classification / hybrid plan, compression bookkeeping, and the
+/// fermionic-segment block table the transform search costs against.
+inline void stage_plan(StageContext& ctx, CompileResult& result, Rng& rng) {
+  const std::vector<fermion::ExcitationTerm>& terms = *ctx.terms;
+  const CompileOptions& options = *ctx.options;
+  const std::size_t n = ctx.n;
 
-  // 1. Classification / plan.
   switch (options.compression) {
     case CompressionMode::kHybrid:
       result.plan = encoding::plan_hybrid_encoding(terms, rng,
@@ -240,57 +265,60 @@ inline void emit_bosonic(circuit::PeepholeBuilder& out,
   }
   result.term_order = result.plan.full_order();
 
-  // 2. Compression bookkeeping. Gamma conjugation applies only to the
+  // Compression bookkeeping. Gamma conjugation applies only to the
   // fermionic segment (the compressed segments stay in the original frame),
   // so Gamma must stay identity exactly on pairs that remain compressed
   // through measurement; pairs decompressed before the fermionic segment are
   // ordinary qubits there.
-  const std::vector<std::size_t> pairs =
-      encoding::compressed_pairs(terms, result.plan);
-  result.compressed_pair_lows = pairs;
-  const auto events = detail::decompression_schedule(terms, result.plan);
-  result.decompression_cnots = static_cast<int>(events.size());
-  std::vector<std::size_t> still_compressed = pairs;
-  for (const auto& ev : events) {
-    for (std::size_t k = 0; k < still_compressed.size(); ++k)
-      if (still_compressed[k] == ev.low) {
-        still_compressed.erase(still_compressed.begin() +
-                               static_cast<std::ptrdiff_t>(k));
+  ctx.pairs = encoding::compressed_pairs(terms, result.plan);
+  result.compressed_pair_lows = ctx.pairs;
+  ctx.events = decompression_schedule(terms, result.plan);
+  result.decompression_cnots = static_cast<int>(ctx.events.size());
+  ctx.still_compressed = ctx.pairs;
+  for (const auto& ev : ctx.events) {
+    for (std::size_t k = 0; k < ctx.still_compressed.size(); ++k)
+      if (ctx.still_compressed[k] == ev.low) {
+        ctx.still_compressed.erase(ctx.still_compressed.begin() +
+                                   static_cast<std::ptrdiff_t>(k));
         break;
       }
   }
-  std::vector<std::size_t> pair_members;  // Gamma-banned qubits
-  for (std::size_t lo : still_compressed) {
-    pair_members.push_back(lo);
-    pair_members.push_back(lo + 1);
+  for (std::size_t lo : ctx.still_compressed) {
+    ctx.pair_members.push_back(lo);
+    ctx.pair_members.push_back(lo + 1);
   }
 
-  // 3. Gamma search over the fermionic segment.
-  std::vector<fermion::ExcitationTerm> fermionic_terms;
-  for (std::size_t i : result.plan.fermionic) fermionic_terms.push_back(terms[i]);
-  std::vector<std::size_t> allowed;  // indices Gamma may act on
+  for (std::size_t i : result.plan.fermionic)
+    ctx.fermionic_terms.push_back(terms[i]);
   {
     std::vector<bool> banned(n, false);
-    for (std::size_t b : pair_members) banned[b] = true;
+    for (std::size_t b : ctx.pair_members) banned[b] = true;
     for (std::size_t i = 0; i < n; ++i)
-      if (!banned[i]) allowed.push_back(i);
+      if (!banned[i]) ctx.allowed.push_back(i);
   }
-  // Fast cost of the fermionic segment under a candidate Gamma.
-  std::vector<std::vector<synth::RotationBlock>> fermionic_jw_blocks;
   {
     const transform::LinearEncoding jw =
         transform::LinearEncoding::jordan_wigner(n);
     int param = 0;
     for (std::size_t i : result.plan.fermionic)
-      fermionic_jw_blocks.push_back(detail::fermionic_term_blocks(
-          n, terms[i], still_compressed, jw, param++));
+      ctx.fermionic_jw_blocks.push_back(fermionic_term_blocks(
+          n, terms[i], ctx.still_compressed, jw, param++));
   }
+}
+
+/// Stage 2: fermion-to-qubit transform search over the fermionic segment.
+inline void stage_transform(StageContext& ctx, CompileResult& result,
+                            Rng& rng) {
+  const CompileOptions& options = *ctx.options;
+  const std::size_t n = ctx.n;
+
+  // Fast cost of the fermionic segment under a candidate Gamma.
   const auto gamma_cost = [&](const gf2::Matrix& gamma) -> double {
     const auto inv = gamma.inverse();
     if (!inv.has_value()) return 1e18;
     const gf2::Matrix inv_t = inv->transpose();
     double total = 0;
-    for (const auto& term_blocks : fermionic_jw_blocks) {
+    for (const auto& term_blocks : ctx.fermionic_jw_blocks) {
       std::vector<synth::RotationBlock> mapped = term_blocks;
       for (auto& b : mapped) {
         pauli::PauliString s(n);
@@ -308,11 +336,11 @@ inline void emit_bosonic(circuit::PeepholeBuilder& out,
   // Real (final-pipeline) cost of the fermionic segment for a candidate
   // Gamma: conjugate the blocks exactly, run the configured sorter once.
   const auto real_fermionic_cost = [&](const gf2::Matrix& gamma) -> int {
-    if (fermionic_jw_blocks.empty()) return 0;
+    if (ctx.fermionic_jw_blocks.empty()) return 0;
     const transform::LinearEncoding cand{gamma};
     std::vector<synth::RotationBlock> flat;
     std::vector<std::vector<synth::RotationBlock>> per_term;
-    for (const auto& term_blocks : fermionic_jw_blocks) {
+    for (const auto& term_blocks : ctx.fermionic_jw_blocks) {
       std::vector<synth::RotationBlock> mapped = term_blocks;
       for (auto& b : mapped) {
         b.string = cand.map_string(b.string);
@@ -342,12 +370,12 @@ inline void emit_bosonic(circuit::PeepholeBuilder& out,
   switch (options.transform) {
     case TransformKind::kJordanWigner: break;
     case TransformKind::kBravyiKitaev:
-      gamma = embedded_bravyi_kitaev(n, allowed);
+      gamma = embedded_bravyi_kitaev(n, ctx.allowed);
       break;
     case TransformKind::kBaselineGT: {
       // For small instances the search can afford the exact pipeline cost as
       // its objective; the fast proxy is kept for large ones (NH3).
-      const bool exact = fermionic_jw_blocks.size() <= 20 &&
+      const bool exact = ctx.fermionic_jw_blocks.size() <= 20 &&
                          options.sorting != SortingMode::kAdvanced;
       const std::function<double(const gf2::Matrix&)> search_cost =
           exact ? std::function<double(const gf2::Matrix&)>(
@@ -356,11 +384,11 @@ inline void emit_bosonic(circuit::PeepholeBuilder& out,
                       })
                 : gamma_cost;
       const gf2::Matrix label =
-          greedy_level_labeling(n, allowed, search_cost);
+          greedy_level_labeling(n, ctx.allowed, search_cost);
       const auto labeled_cost = [&](const gf2::Matrix& ut) {
         return search_cost(ut.multiply(label));
       };
-      const gf2::Matrix ut = pso_upper_triangular(n, allowed, labeled_cost,
+      const gf2::Matrix ut = pso_upper_triangular(n, ctx.allowed, labeled_cost,
                                                   rng, options.pso_options);
       // Keep the best of {identity, labeling, PSO * labeling} by the real
       // pipeline cost -- GT never loses to plain JW.
@@ -377,12 +405,13 @@ inline void emit_bosonic(circuit::PeepholeBuilder& out,
       break;
     }
     case TransformKind::kAdvanced: {
-      const auto blocks = discover_blocks(n, fermionic_terms, pair_members);
+      const auto blocks = discover_blocks(n, ctx.fermionic_terms,
+                                          ctx.pair_members);
       GammaState best =
           anneal_gamma(n, blocks, gamma_cost, rng, options.sa_options);
       // Small instances: first-improvement hill climb on the *real* cost to
       // close the proxy gap (in-block moves keep GL membership).
-      if (fermionic_jw_blocks.size() <= 12 && !blocks.empty()) {
+      if (ctx.fermionic_jw_blocks.size() <= 12 && !blocks.empty()) {
         int cur = real_fermionic_cost(best.gamma);
         for (int move = 0; move < 40; ++move) {
           const GammaState cand = propose_gamma_move(best, rng);
@@ -401,25 +430,31 @@ inline void emit_bosonic(circuit::PeepholeBuilder& out,
     }
   }
   result.gamma = gamma;
-  const transform::LinearEncoding enc{gamma};
-  const transform::LinearEncoding jw_enc{gf2::Matrix::identity(n)};
   // Gamma must leave still-compressed pair members untouched (the
   // measurement reduces over those pairs in the original frame).
-  for (std::size_t b : pair_members) {
+  for (std::size_t b : ctx.pair_members) {
     for (std::size_t c = 0; c < n; ++c) {
       FEMTO_ASSERT(gamma.get(b, c) == (b == c));
       FEMTO_ASSERT(gamma.get(c, b) == (b == c));
     }
   }
+}
 
-  // 4. Ordered full generators for VQE (encoding-invariant energies).
-  {
-    for (std::size_t i : result.term_order)
-      result.ordered_generators.push_back(
-          transform::jw_map(n, terms[i].generator()));
-  }
+/// Stage 3: ordered full generators plus segment sorting, synthesis, and
+/// circuit emission.
+inline void stage_emit(StageContext& ctx, CompileResult& result, Rng& rng) {
+  const std::vector<fermion::ExcitationTerm>& terms = *ctx.terms;
+  const CompileOptions& options = *ctx.options;
+  const std::size_t n = ctx.n;
+  const transform::LinearEncoding enc{result.gamma};
+  const transform::LinearEncoding jw_enc{gf2::Matrix::identity(n)};
 
-  // 5. Segment compilation.
+  // Ordered full generators for VQE (encoding-invariant energies).
+  for (std::size_t i : result.term_order)
+    result.ordered_generators.push_back(
+        transform::jw_map(n, terms[i].generator()));
+
+  // Segment compilation.
   circuit::PeepholeBuilder builder(n);
   const std::vector<std::size_t> order = result.term_order;
   // Param index = position in the order.
@@ -427,7 +462,7 @@ inline void emit_bosonic(circuit::PeepholeBuilder& out,
   for (std::size_t pos = 0; pos < order.size(); ++pos)
     param_of[order[pos]] = static_cast<int>(pos);
 
-  std::vector<std::size_t> active = pairs;
+  std::vector<std::size_t> active = ctx.pairs;
   std::size_t next_event = 0;
 
   const auto segment_spans =
@@ -466,7 +501,9 @@ inline void emit_bosonic(circuit::PeepholeBuilder& out,
       report.model_cnots += synth::sequence_model_cost(ordered);
       if (options.emit_circuit) {
         const circuit::QuantumCircuit c =
-            synth::synthesize_sequence(n, ordered);
+            options.synthesis_cache != nullptr
+                ? options.synthesis_cache->synthesize(n, ordered)
+                : synth::synthesize_sequence(n, ordered);
         builder.push(c);
       }
       chunk.clear();
@@ -475,9 +512,10 @@ inline void emit_bosonic(circuit::PeepholeBuilder& out,
 
     for (std::size_t i : seg_terms) {
       // Fire due decompressions.
-      while (next_event < events.size() && events[next_event].position <= pos) {
+      while (next_event < ctx.events.size() &&
+             ctx.events[next_event].position <= pos) {
         flush_chunk();
-        const std::size_t lo = events[next_event].low;
+        const std::size_t lo = ctx.events[next_event].low;
         if (options.emit_circuit)
           builder.push(circuit::Gate::cnot(lo, lo + 1));
         for (std::size_t k = 0; k < active.size(); ++k)
@@ -493,16 +531,16 @@ inline void emit_bosonic(circuit::PeepholeBuilder& out,
         const pauli::PauliSum g =
             encoding::compressed_generator(n, term, active);
         report.model_cnots += 2;
-        if (options.emit_circuit) detail::emit_bosonic(builder, g, param);
+        if (options.emit_circuit) emit_bosonic(builder, g, param);
       } else if (seg_name.rfind("hybrid", 0) == 0) {
         // Compressed segments are emitted in the original (JW) frame; only
         // the fermionic segment is Gamma-conjugated.
         auto blocks =
-            detail::compressed_term_blocks(n, term, active, jw_enc, param);
+            compressed_term_blocks(n, term, active, jw_enc, param);
         chunk_terms.push_back(blocks);
         for (auto& b : blocks) chunk.push_back(std::move(b));
       } else {
-        auto blocks = detail::fermionic_term_blocks(n, term, active, enc, param);
+        auto blocks = fermionic_term_blocks(n, term, active, enc, param);
         chunk_terms.push_back(blocks);
         for (auto& b : blocks) chunk.push_back(std::move(b));
       }
@@ -520,6 +558,26 @@ inline void emit_bosonic(circuit::PeepholeBuilder& out,
     result.circuit = builder.take();
     result.emitted_cnots = result.circuit.cnot_count();
   }
+}
+
+}  // namespace detail
+
+/// Full single-shot compilation entry point: the staged pipeline above over
+/// one Rng seeded with options.seed. See core/pipeline.hpp for multi-restart
+/// and batch compilation.
+[[nodiscard]] inline CompileResult compile_vqe(
+    std::size_t n, const std::vector<fermion::ExcitationTerm>& terms,
+    const CompileOptions& options = {}) {
+  Rng rng(options.seed);
+  CompileResult result;
+  result.num_qubits = n;
+  detail::StageContext ctx;
+  ctx.n = n;
+  ctx.terms = &terms;
+  ctx.options = &options;
+  detail::stage_plan(ctx, result, rng);
+  detail::stage_transform(ctx, result, rng);
+  detail::stage_emit(ctx, result, rng);
   return result;
 }
 

@@ -1,0 +1,186 @@
+// Parallel multi-restart / batch compilation pipeline.
+//
+// Wraps the staged single-shot compiler (core/compiler.hpp) in a job queue
+// on a std::thread worker pool (common/parallel.hpp):
+//
+//  - compile_best   N independent restarts of one compile, each on its own
+//                   Rng stream derived from the master seed (restart 0 runs
+//                   the master seed itself, so it reproduces the historical
+//                   single-shot call bit-for-bit and the multi-restart best
+//                   can never be worse). The winner is the lowest model-CNOT
+//                   plan, ties broken toward the lowest restart index.
+//  - compile_batch  many scenarios (molecule x transform x sorting mode) in
+//                   one call; results come back in input order.
+//  - compile_batch_best  the cross product: every scenario multi-restarted.
+//
+// Determinism contract: every job is a pure function of (scenario, derived
+// seed) and writes only its own output slot; winner selection is a pure
+// reduction over the complete slot vector. The same master seeds therefore
+// yield bit-identical results for ANY worker count -- this is what makes
+// the CI bench-regression gates trustworthy. A shared SynthesisCache
+// deduplicates repeated per-segment synthesis across jobs; it memoizes a
+// pure function, so it never changes results either (see
+// synth/synthesis_cache.hpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "core/compiler.hpp"
+#include "opt/restart.hpp"
+
+namespace femto::core {
+
+/// One unit of batch-compilation work.
+struct CompileScenario {
+  std::string name;  // label for benches/reports; not used by the compiler
+  std::size_t num_qubits = 0;
+  std::vector<fermion::ExcitationTerm> terms;
+  CompileOptions options;
+};
+
+/// Cost and seed of one restart, reported for benches and tests.
+struct RestartReport {
+  std::uint64_t seed = 0;
+  int model_cnots = 0;
+};
+
+struct MultiStartResult {
+  CompileResult best;
+  std::size_t best_restart = 0;
+  std::vector<RestartReport> restarts;  // indexed by restart
+};
+
+struct PipelineOptions {
+  /// Worker threads; 0 = hardware concurrency.
+  std::size_t workers = 0;
+  /// Restarts per compile in compile_best / compile_batch_best.
+  std::size_t restarts = 1;
+  /// Share one synthesis memo across all jobs of a call.
+  bool share_synthesis_cache = true;
+};
+
+class CompilePipeline {
+ public:
+  explicit CompilePipeline(PipelineOptions options = {})
+      : options_(options), pool_(options.workers) {
+    FEMTO_EXPECTS(options_.restarts >= 1);
+  }
+
+  [[nodiscard]] std::size_t worker_count() const {
+    return pool_.worker_count();
+  }
+  [[nodiscard]] const synth::SynthesisCache& cache() const { return cache_; }
+  [[nodiscard]] ThreadPool& pool() { return pool_; }
+
+  /// N independent restarts of one compile; keeps the best-cost plan.
+  /// Restart r runs options.seed for r == 0 and a derived stream otherwise,
+  /// so the result can never cost more than single-shot compile_vqe(options)
+  /// and is bit-identical for any worker count.
+  [[nodiscard]] MultiStartResult compile_best(
+      std::size_t n, const std::vector<fermion::ExcitationTerm>& terms,
+      const CompileOptions& options) {
+    MultiStartResult out;
+    run_jobs(make_restart_jobs(n, terms, options), [&](std::vector<CompileResult> results) {
+      out = reduce_restarts(options.seed, std::move(results));
+    });
+    return out;
+  }
+
+  /// Batch-compiles scenarios; results[i] belongs to scenarios[i].
+  [[nodiscard]] std::vector<CompileResult> compile_batch(
+      const std::vector<CompileScenario>& scenarios) {
+    std::vector<Job> jobs;
+    jobs.reserve(scenarios.size());
+    for (const CompileScenario& s : scenarios)
+      jobs.push_back({s.num_qubits, &s.terms, s.options});
+    std::vector<CompileResult> results;
+    run_jobs(std::move(jobs),
+             [&](std::vector<CompileResult> r) { results = std::move(r); });
+    return results;
+  }
+
+  /// Multi-restarts every scenario; results[i] belongs to scenarios[i]. All
+  /// scenarios' restarts share one job queue, so wide batches keep every
+  /// worker busy even when individual scenarios are small.
+  [[nodiscard]] std::vector<MultiStartResult> compile_batch_best(
+      const std::vector<CompileScenario>& scenarios) {
+    std::vector<Job> jobs;
+    jobs.reserve(scenarios.size() * options_.restarts);
+    for (const CompileScenario& s : scenarios) {
+      std::vector<Job> one = make_restart_jobs(s.num_qubits, s.terms, s.options);
+      for (Job& j : one) jobs.push_back(std::move(j));
+    }
+    std::vector<MultiStartResult> out(scenarios.size());
+    run_jobs(std::move(jobs), [&](std::vector<CompileResult> results) {
+      for (std::size_t i = 0; i < scenarios.size(); ++i) {
+        std::vector<CompileResult> slice(
+            std::make_move_iterator(results.begin() +
+                                    static_cast<std::ptrdiff_t>(i * options_.restarts)),
+            std::make_move_iterator(results.begin() +
+                                    static_cast<std::ptrdiff_t>((i + 1) * options_.restarts)));
+        out[i] = reduce_restarts(scenarios[i].options.seed, std::move(slice));
+      }
+    });
+    return out;
+  }
+
+ private:
+  struct Job {
+    std::size_t num_qubits = 0;
+    const std::vector<fermion::ExcitationTerm>* terms = nullptr;
+    CompileOptions options;
+  };
+
+  [[nodiscard]] std::vector<Job> make_restart_jobs(
+      std::size_t n, const std::vector<fermion::ExcitationTerm>& terms,
+      const CompileOptions& base) {
+    std::vector<Job> jobs;
+    jobs.reserve(options_.restarts);
+    for (std::size_t r = 0; r < options_.restarts; ++r) {
+      Job job{n, &terms, base};
+      job.options.seed = opt::restart_seed(base.seed, r);
+      jobs.push_back(std::move(job));
+    }
+    return jobs;
+  }
+
+  /// Runs all jobs on the pool (slot-indexed, so output order == input
+  /// order) and hands the complete result vector to `consume`.
+  template <typename Consume>
+  void run_jobs(std::vector<Job> jobs, Consume&& consume) {
+    std::vector<CompileResult> results(jobs.size());
+    pool_.parallel_for(jobs.size(), [&](std::size_t i) {
+      CompileOptions options = jobs[i].options;
+      if (options_.share_synthesis_cache && options.emit_circuit)
+        options.synthesis_cache = &cache_;
+      results[i] = compile_vqe(jobs[i].num_qubits, *jobs[i].terms, options);
+    });
+    consume(std::move(results));
+  }
+
+  /// Deterministic winner selection: (model_cnots, restart index).
+  [[nodiscard]] MultiStartResult reduce_restarts(
+      std::uint64_t master_seed, std::vector<CompileResult> results) {
+    MultiStartResult out;
+    out.restarts.reserve(results.size());
+    for (std::size_t r = 0; r < results.size(); ++r) {
+      out.restarts.push_back(
+          {opt::restart_seed(master_seed, r), results[r].model_cnots});
+      if (r == 0 || results[r].model_cnots < out.best.model_cnots) {
+        out.best = std::move(results[r]);
+        out.best_restart = r;
+      }
+    }
+    return out;
+  }
+
+  PipelineOptions options_;
+  ThreadPool pool_;
+  synth::SynthesisCache cache_;
+};
+
+}  // namespace femto::core

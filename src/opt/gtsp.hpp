@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "opt/restart.hpp"
 
 namespace femto::opt {
 
@@ -236,6 +237,22 @@ inline void mutate(std::vector<std::size_t>& order, Rng& rng) {
       best_order = pop[i];
     }
   return detail::cluster_dp(inst, best_order);
+}
+
+/// Multi-restart GA on derived seed streams; restart 0 reproduces the
+/// single-shot call with Rng(master_seed) exactly. GTSP maximizes, so the
+/// restart driver minimizes -value. `inst.weight` must be safe to call
+/// concurrently when a pool is supplied (a pure function; NOT the memoizing
+/// closure sort_advanced builds, which is why the compiler parallelizes at
+/// the restart level only).
+[[nodiscard]] inline GtspSolution solve_gtsp_ga_restarts(
+    std::size_t restarts, std::uint64_t master_seed, const GtspInstance& inst,
+    const GtspOptions& options = {}, ThreadPool* pool = nullptr) {
+  auto outcome = best_of_restarts(
+      restarts, master_seed,
+      [&](Rng& rng, std::size_t) { return solve_gtsp_ga(inst, rng, options); },
+      [](const GtspSolution& s) { return -s.value; }, pool);
+  return std::move(outcome.result);
 }
 
 /// Pure greedy baseline (used by ablation bench E3).

@@ -1,0 +1,71 @@
+// Common multi-restart driver for the stochastic solvers.
+//
+// All three optimizers (simulated annealing, binary PSO, the GTSP GA) are
+// pure functions of an injected Rng, so N independent restarts are N calls
+// on N derived seed streams: restart 0 runs on the master seed itself
+// (making a 1-restart run bit-identical to the historical single-shot call)
+// and restart k > 0 on derive_stream_seed(master, k). The winner is chosen
+// by (cost, restart index), which is independent of execution order -- the
+// restarts may therefore run on a ThreadPool with any worker count and the
+// returned result is still bit-identical.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+
+namespace femto::opt {
+
+/// Seed of restart `r` under master seed `master`: the master itself for
+/// r == 0, an independent derived stream otherwise.
+[[nodiscard]] constexpr std::uint64_t restart_seed(std::uint64_t master,
+                                                   std::size_t r) {
+  return r == 0 ? master : derive_stream_seed(master, r);
+}
+
+template <typename Result>
+struct RestartOutcome {
+  Result result{};
+  double cost = 0.0;
+  std::size_t restart = 0;        // index of the winning restart
+  std::vector<double> costs;      // per-restart cost, indexed by restart
+};
+
+/// Runs `run(rng, restart_index)` for each of `restarts` derived streams and
+/// returns the lowest-cost result (ties broken toward the lowest restart
+/// index). `cost(result)` maps a result to the minimized scalar. When `pool`
+/// is non-null the restarts execute concurrently on it.
+template <typename RunFn, typename CostFn>
+[[nodiscard]] auto best_of_restarts(std::size_t restarts,
+                                    std::uint64_t master_seed, RunFn&& run,
+                                    CostFn&& cost, ThreadPool* pool = nullptr) {
+  FEMTO_EXPECTS(restarts >= 1);
+  using Result = decltype(run(std::declval<Rng&>(), std::size_t{0}));
+  std::vector<std::optional<Result>> slots(restarts);
+  const auto one = [&](std::size_t r) {
+    Rng rng(restart_seed(master_seed, r));
+    slots[r] = run(rng, r);
+  };
+  if (pool != nullptr && restarts > 1) {
+    pool->parallel_for(restarts, one);
+  } else {
+    for (std::size_t r = 0; r < restarts; ++r) one(r);
+  }
+  RestartOutcome<Result> out;
+  out.costs.reserve(restarts);
+  for (std::size_t r = 0; r < restarts; ++r) {
+    const double c = cost(*slots[r]);
+    out.costs.push_back(c);
+    if (r == 0 || c < out.cost) {
+      out.cost = c;
+      out.restart = r;
+      out.result = std::move(*slots[r]);
+    }
+  }
+  return out;
+}
+
+}  // namespace femto::opt

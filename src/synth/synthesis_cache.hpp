@@ -1,0 +1,105 @@
+// Thread-safe memoization of per-segment circuit synthesis.
+//
+// Across the restarts of a multi-start compile (and across the scenarios of
+// a batch compile) the same ordered rotation-block sequence recurs whenever
+// the stochastic stages converge to the same segment plan -- compressed
+// segments in particular are emitted in the fixed Jordan-Wigner frame, so
+// their synthesized circuits repeat verbatim. synthesize_sequence is a pure
+// function of (n, sequence), which makes exact memoization safe: a cache hit
+// returns bit-identical output to a fresh synthesis, so pipeline results are
+// unchanged by cache sharing, thread count, or insertion order.
+//
+// Keys are the full serialized sequence (symplectic words, phase, target,
+// angle bits, parameter index per block), not just a hash -- a collision
+// must compare unequal rather than silently return the wrong circuit.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "synth/pauli_exponential.hpp"
+
+namespace femto::synth {
+
+class SynthesisCache {
+ public:
+  struct Stats {
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+  };
+
+  /// Memoized synthesize_sequence(n, seq, policy).
+  [[nodiscard]] circuit::QuantumCircuit synthesize(
+      std::size_t n, const std::vector<RotationBlock>& seq,
+      MergePolicy policy = MergePolicy::kMerge) {
+    const std::string key = serialize(n, seq, policy);
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      const auto it = entries_.find(key);
+      if (it != entries_.end()) {
+        ++stats_.hits;
+        return it->second;
+      }
+    }
+    // Synthesize outside the lock; concurrent first-comers may duplicate the
+    // work, but every computation of the same key yields the same circuit.
+    circuit::QuantumCircuit circuit = synthesize_sequence(n, seq, policy);
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.misses;
+      entries_.emplace(key, circuit);
+    }
+    return circuit;
+  }
+
+  [[nodiscard]] Stats stats() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+  }
+
+  void clear() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    entries_.clear();
+    stats_ = {};
+  }
+
+ private:
+  [[nodiscard]] static std::string serialize(
+      std::size_t n, const std::vector<RotationBlock>& seq,
+      MergePolicy policy) {
+    std::string key;
+    key.reserve(16 + seq.size() * (2 * ((n + 63) / 64) + 4) * 8);
+    append_u64(key, n);
+    append_u64(key, static_cast<std::uint64_t>(policy));
+    for (const RotationBlock& b : seq) {
+      for (std::uint64_t w : b.string.x().words()) append_u64(key, w);
+      for (std::uint64_t w : b.string.z().words()) append_u64(key, w);
+      append_u64(key, static_cast<std::uint64_t>(b.string.phase_exponent()));
+      append_u64(key, b.target);
+      append_u64(key, std::bit_cast<std::uint64_t>(b.angle_coeff));
+      append_u64(key, static_cast<std::uint64_t>(
+                          static_cast<std::int64_t>(b.param)));
+    }
+    return key;
+  }
+
+  static void append_u64(std::string& out, std::uint64_t v) {
+    for (int byte = 0; byte < 8; ++byte)
+      out.push_back(static_cast<char>((v >> (8 * byte)) & 0xff));
+  }
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, circuit::QuantumCircuit> entries_;
+  Stats stats_;
+};
+
+}  // namespace femto::synth

@@ -105,11 +105,12 @@ TEST(Gtsp, GaBeatsOrMatchesRandomAndGreedy) {
     for (std::size_t v = 0; v < k; ++v) cluster.push_back(next++);
     inst.clusters.push_back(cluster);
   }
-  // Random symmetric weights, fixed by a hash-like formula (deterministic).
+  // Random symmetric weights, fixed by a hash-like formula (deterministic;
+  // unsigned arithmetic so the intended wrap-around is well defined).
   inst.weight = [](int a, int b) {
-    const unsigned h = static_cast<unsigned>(a * 73856093) ^
-                       static_cast<unsigned>(b * 19349663) ^
-                       static_cast<unsigned>((a + b) * 83492791);
+    const unsigned h = static_cast<unsigned>(a) * 73856093u ^
+                       static_cast<unsigned>(b) * 19349663u ^
+                       static_cast<unsigned>(a + b) * 83492791u;
     return static_cast<double>(h % 1000) / 100.0;
   };
   Rng r1(11), r2(11), r3(11);

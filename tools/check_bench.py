@@ -1,0 +1,181 @@
+#!/usr/bin/env python3
+"""Bench regression gate: compare fresh BENCH_*.json against committed baselines.
+
+Usage (what CI runs; works identically from a local checkout):
+
+    python3 tools/check_bench.py \
+        --pair BENCH_statevector.json build/BENCH_statevector.json \
+        --pair BENCH_pipeline.json    build/BENCH_pipeline.json \
+        --report build/bench_diff.md
+
+Each --pair is (committed baseline, freshly produced file). The gate fails
+(exit 1) on a >25% regression (--threshold) of any gated metric, and the
+full comparison table is written to --report for upload as a CI artifact.
+
+Gating rules, tuned so the gate is trustworthy across machines:
+
+* Quality metrics (CNOT counts, solver values, ...) are deterministic
+  functions of the committed seeds -- femto's pipeline guarantees
+  thread-count-invariant results -- so they are gated at the threshold,
+  scaled by |baseline| (handles negative energies).
+* Direction: metrics whose name contains speedup/scaling/throughput/value/
+  saving are higher-is-better; everything else is lower-is-better.
+* Raw wall-clock fields (median_s/min_s/max_s) and wall-clock-derived
+  ratios (scaling_*/throughput_*) are machine- and load-dependent and
+  skipped unless --include-timings is given (useful locally on the same
+  box).
+* Metrics listed in ABS_FLOORS are gated by an absolute floor instead of a
+  ratio: e.g. statevector kernel speedups must stay >= 1.3x on ANY machine,
+  but are not required to match the reference machine's 5-7x.
+* metrics prefixed info_ (cache hit counters etc.) are informational only.
+* A section or metric present in the baseline but missing from the fresh
+  file fails the gate (coverage must not silently disappear); pass
+  --allow-missing to downgrade that to a warning.
+"""
+
+import argparse
+import fnmatch
+import json
+import sys
+
+TIMING_KEYS = ("median_s", "min_s", "max_s")
+# Wall-clock-derived ratio metrics (t_ref / t_new): machine- and load-
+# dependent like the raw timings, so gated only with --include-timings.
+TIMING_METRIC_HINTS = ("scaling", "throughput")
+HIGHER_BETTER_HINTS = ("speedup", "scaling", "throughput", "value", "saving",
+                       "improve")
+SKIP_PREFIXES = ("info_", "best_restart")
+
+# suite -> {metric glob: absolute floor}. Overrides ratio gating.
+ABS_FLOORS = {
+    "statevector": {"*_speedup": 1.3},
+}
+
+
+def is_higher_better(name):
+    return any(h in name for h in HIGHER_BETTER_HINTS)
+
+
+def abs_floor_for(suite, metric):
+    for pattern, floor in ABS_FLOORS.get(suite, {}).items():
+        if fnmatch.fnmatch(metric, pattern):
+            return floor
+    return None
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    sections = {}
+    for s in data.get("sections", []):
+        entry = dict(s.get("metrics", {}))
+        for key in TIMING_KEYS:
+            if key in s:
+                entry[key] = s[key]
+        sections[s["name"]] = entry
+    return data.get("suite", "?"), sections
+
+
+def compare(suite, base_sections, fresh_sections, args, rows):
+    failures = []
+    for section, base_metrics in sorted(base_sections.items()):
+        fresh_metrics = fresh_sections.get(section)
+        if fresh_metrics is None:
+            rows.append((suite, section, "-", "-", "-", "-",
+                         "MISSING-SECTION"))
+            if not args.allow_missing:
+                failures.append(f"{suite}/{section}: section missing")
+            continue
+        for metric, base_value in sorted(base_metrics.items()):
+            timing = (metric in TIMING_KEYS
+                      or any(h in metric for h in TIMING_METRIC_HINTS))
+            if timing and not args.include_timings:
+                continue
+            if any(metric.startswith(p) for p in SKIP_PREFIXES):
+                continue
+            if metric not in fresh_metrics:
+                rows.append((suite, section, metric, f"{base_value:g}", "-",
+                             "-", "MISSING"))
+                if not args.allow_missing:
+                    failures.append(f"{suite}/{section}/{metric}: missing")
+                continue
+            fresh_value = fresh_metrics[metric]
+            floor = abs_floor_for(suite, metric)
+            scale = abs(base_value)
+            if floor is not None:
+                ok = fresh_value >= floor
+                detail = f">= {floor:g} (abs floor)"
+            elif timing or not is_higher_better(metric):
+                # lower is better (counts, energies, wall time)
+                ok = fresh_value <= base_value + args.threshold * scale
+                detail = f"<= base + {args.threshold:.0%}"
+            else:
+                ok = fresh_value >= base_value - args.threshold * scale
+                detail = f">= base - {args.threshold:.0%}"
+            delta = (f"{(fresh_value - base_value) / scale:+.1%}"
+                     if scale > 0 else "n/a")
+            status = "ok" if ok else "FAIL"
+            rows.append((suite, section, metric, f"{base_value:g}",
+                         f"{fresh_value:g}", delta, status))
+            if not ok:
+                failures.append(
+                    f"{suite}/{section}/{metric}: {base_value:g} -> "
+                    f"{fresh_value:g} violates {detail}")
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--pair", nargs=2, action="append", required=True,
+                        metavar=("BASELINE", "FRESH"),
+                        help="baseline JSON and fresh JSON to compare")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="relative regression allowed (default 0.25)")
+    parser.add_argument("--include-timings", action="store_true",
+                        help="also gate median_s/min_s/max_s (same-machine "
+                        "comparisons only)")
+    parser.add_argument("--allow-missing", action="store_true",
+                        help="warn instead of fail on missing sections")
+    parser.add_argument("--report", default="bench_diff.md",
+                        help="markdown report path (CI artifact)")
+    args = parser.parse_args()
+
+    rows = []
+    failures = []
+    for base_path, fresh_path in args.pair:
+        base_suite, base_sections = load(base_path)
+        fresh_suite, fresh_sections = load(fresh_path)
+        if base_suite != fresh_suite:
+            failures.append(
+                f"suite mismatch: {base_path} is '{base_suite}' but "
+                f"{fresh_path} is '{fresh_suite}'")
+            continue
+        failures += compare(base_suite, base_sections, fresh_sections, args,
+                            rows)
+
+    lines = ["# Bench regression report", "",
+             f"threshold: {args.threshold:.0%}  "
+             f"(timings gated: {args.include_timings})", "",
+             "| suite | section | metric | baseline | fresh | delta | status |",
+             "|---|---|---|---|---|---|---|"]
+    for row in rows:
+        lines.append("| " + " | ".join(str(c) for c in row) + " |")
+    lines.append("")
+    if failures:
+        lines.append("## FAILURES")
+        lines += [f"- {f}" for f in failures]
+    else:
+        lines.append("All gated metrics within threshold.")
+    report = "\n".join(lines) + "\n"
+    with open(args.report, "w") as f:
+        f.write(report)
+    print(report)
+    if failures:
+        print(f"check_bench: {len(failures)} gated metric(s) regressed",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
