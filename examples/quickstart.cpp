@@ -40,15 +40,22 @@ int main() {
 
   // 3. Compile with the paper's advanced pipeline, 4 independent restarts
   //    on the worker pool (restart 0 == the single-shot compile, so the
-  //    best plan can only improve)...
-  core::CompilePipeline pipeline({/*workers=*/0, /*restarts=*/4,
-                                  /*share_synthesis_cache=*/true});
+  //    best plan can only improve), with in-flight verification: every
+  //    restart's emitted circuit is certified against its compilation spec
+  //    by symbolic Pauli propagation (no statevector, any qubit count)...
+  core::PipelineOptions pipe_options(/*workers=*/0, /*restarts=*/4);
+  pipe_options.verify = true;
+  core::CompilePipeline pipeline(pipe_options);
   core::CompileOptions adv;  // defaults: hybrid + SA Gamma + GTSP GA
   const auto multi = pipeline.compile_best(so.n, terms, adv);
   const auto& res_adv = multi.best;
   std::printf("\nrestart costs:");
   for (const auto& r : multi.restarts) std::printf(" %d", r.model_cnots);
   std::printf("  (best: restart %zu)\n", multi.best_restart);
+  std::printf("verification: %s  (best restart: %s)\n",
+              multi.all_verified() ? "all restarts certified" : "FAILED",
+              multi.verification[multi.best_restart].to_string().c_str());
+  if (!multi.all_verified()) return 1;
 
   // ...and with the baseline of [9] for comparison.
   core::CompileOptions base;

@@ -109,9 +109,10 @@ struct Gate {
     FEMTO_EXPECTS(a != b);
     return {GateKind::kSwap, a, b, 0, -1};
   }
-  [[nodiscard]] static Gate xxrot(std::size_t a, std::size_t b, double angle) {
+  [[nodiscard]] static Gate xxrot(std::size_t a, std::size_t b, double angle,
+                                  int param = -1) {
     FEMTO_EXPECTS(a != b);
-    return {GateKind::kXXrot, a, b, angle, -1};
+    return {GateKind::kXXrot, a, b, angle, param};
   }
   [[nodiscard]] static Gate xyrot(std::size_t a, std::size_t b, double angle,
                                   int param = -1) {

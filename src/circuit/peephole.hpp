@@ -46,7 +46,9 @@ namespace detail {
 /// merged into one (literal+literal, or same variational parameter).
 [[nodiscard]] inline bool mergeable(const Gate& a, const Gate& b) {
   if (a.kind != b.kind || !is_rotation(a.kind)) return false;
-  if (a.kind == GateKind::kXXrot) {
+  if (a.two_qubit()) {
+    // XX@XX and (XX+YY)@(XX+YY) are symmetric in the pair, but both wires
+    // must match: XY(0,1) and XY(0,2) share only q0 and must NOT merge.
     if (!same_pair_unordered(a, b)) return false;
   } else if (a.q0 != b.q0) {
     return false;

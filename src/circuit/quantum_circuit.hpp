@@ -67,7 +67,12 @@ class QuantumCircuit {
     return depth;
   }
 
-  /// Adjoint circuit: gates reversed, each inverted.
+  /// Adjoint circuit: gates reversed, each inverted. The switch is
+  /// exhaustive on purpose (no default): a new GateKind must state its
+  /// inverse explicitly or fail to compile, rather than silently landing in
+  /// a self-inverse bucket. Negating `angle` inverts both literal rotations
+  /// and variational ones (the effective angle is angle * theta[param], so
+  /// the sign flip holds for every parameter value).
   [[nodiscard]] QuantumCircuit inverse() const {
     QuantumCircuit inv(n_);
     for (auto it = gates_.rbegin(); it != gates_.rend(); ++it) {
@@ -80,7 +85,13 @@ class QuantumCircuit {
         case GateKind::kRy:
         case GateKind::kXXrot:
         case GateKind::kXYrot: g.angle = -g.angle; break;
-        default: break;  // X, Y, Z, H, CNOT, CZ, SWAP are self-inverse
+        case GateKind::kX:
+        case GateKind::kY:
+        case GateKind::kZ:
+        case GateKind::kH:
+        case GateKind::kCnot:
+        case GateKind::kCz:
+        case GateKind::kSwap: break;  // self-inverse
       }
       inv.append(g);
     }

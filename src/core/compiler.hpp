@@ -41,6 +41,7 @@
 #include "synth/pauli_exponential.hpp"
 #include "synth/synthesis_cache.hpp"
 #include "transform/linear_encoding.hpp"
+#include "verify/spec.hpp"
 
 namespace femto::core {
 
@@ -102,6 +103,12 @@ struct CompileResult {
   std::vector<pauli::PauliSum> ordered_generators;
   /// Low indices of the spin pairs the plan uses compressed.
   std::vector<std::size_t> compressed_pair_lows;
+  /// The ordered operation stream `circuit` is supposed to implement
+  /// (recorded whenever a circuit is emitted): every sorted rotation block
+  /// handed to the synthesizer plus the interleaved bookkeeping gates.
+  /// verify::EquivalenceChecker::check_spec certifies `circuit` against it
+  /// symbolically at any qubit count (see verify/equivalence.hpp).
+  verify::CompilationSpec spec;
 
   /// Reference-state preparation (X gates) for `nelec` electrons in the
   /// compressed representation the circuit starts from: occupied pair ->
@@ -188,8 +195,10 @@ struct DecompressionEvent {
 }
 
 /// Emits one bosonic block: exp(i a theta (X_p Y_r - Y_p X_r)) =
-/// [Sdg_r][XYrot(p, r, -2a theta)][S_r]; exactly 2 CNOT-equivalents.
+/// [Sdg_r][XYrot(p, r, -2a theta)][S_r]; exactly 2 CNOT-equivalents. The
+/// same three gates are recorded into the verification spec.
 inline void emit_bosonic(circuit::PeepholeBuilder& out,
+                         verify::CompilationSpec& spec,
                          const pauli::PauliSum& g, int param) {
   FEMTO_EXPECTS(g.size() == 2);
   // Locate the X.Y term; its partner must be Y.X with negated coefficient.
@@ -217,9 +226,12 @@ inline void emit_bosonic(circuit::PeepholeBuilder& out,
     if (found) break;
   }
   FEMTO_EXPECTS(found);
-  out.push(circuit::Gate::sdg(r));
-  out.push(circuit::Gate::xyrot(p, r, -2.0 * a, param));
-  out.push(circuit::Gate::s(r));
+  for (const circuit::Gate& g2 :
+       {circuit::Gate::sdg(r), circuit::Gate::xyrot(p, r, -2.0 * a, param),
+        circuit::Gate::s(r)}) {
+    out.push(g2);
+    spec.push_back(verify::SpecOp::from_gate(g2));
+  }
 }
 
 /// Intermediate state handed between the compile stages. Owned by one
@@ -505,6 +517,8 @@ inline void stage_emit(StageContext& ctx, CompileResult& result, Rng& rng) {
                 ? options.synthesis_cache->synthesize(n, ordered)
                 : synth::synthesize_sequence(n, ordered);
         builder.push(c);
+        for (const synth::RotationBlock& b : ordered)
+          result.spec.push_back(verify::SpecOp::from_block(b));
       }
       chunk.clear();
       chunk_terms.clear();
@@ -516,8 +530,11 @@ inline void stage_emit(StageContext& ctx, CompileResult& result, Rng& rng) {
              ctx.events[next_event].position <= pos) {
         flush_chunk();
         const std::size_t lo = ctx.events[next_event].low;
-        if (options.emit_circuit)
+        if (options.emit_circuit) {
           builder.push(circuit::Gate::cnot(lo, lo + 1));
+          result.spec.push_back(
+              verify::SpecOp::from_gate(circuit::Gate::cnot(lo, lo + 1)));
+        }
         for (std::size_t k = 0; k < active.size(); ++k)
           if (active[k] == lo) {
             active.erase(active.begin() + static_cast<std::ptrdiff_t>(k));
@@ -531,7 +548,7 @@ inline void stage_emit(StageContext& ctx, CompileResult& result, Rng& rng) {
         const pauli::PauliSum g =
             encoding::compressed_generator(n, term, active);
         report.model_cnots += 2;
-        if (options.emit_circuit) emit_bosonic(builder, g, param);
+        if (options.emit_circuit) emit_bosonic(builder, result.spec, g, param);
       } else if (seg_name.rfind("hybrid", 0) == 0) {
         // Compressed segments are emitted in the original (JW) frame; only
         // the fermionic segment is Gamma-conjugated.

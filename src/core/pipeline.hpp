@@ -31,6 +31,7 @@
 #include "common/parallel.hpp"
 #include "core/compiler.hpp"
 #include "opt/restart.hpp"
+#include "verify/equivalence.hpp"
 
 namespace femto::core {
 
@@ -52,15 +53,39 @@ struct MultiStartResult {
   CompileResult best;
   std::size_t best_restart = 0;
   std::vector<RestartReport> restarts;  // indexed by restart
+  /// Per-restart verification verdicts (empty unless PipelineOptions.verify).
+  std::vector<verify::EquivalenceReport> verification;
+
+  /// True when verification ran and certified every restart's circuit.
+  [[nodiscard]] bool all_verified() const {
+    if (verification.empty()) return false;
+    for (const verify::EquivalenceReport& r : verification)
+      if (!r.equivalent()) return false;
+    return true;
+  }
 };
 
 struct PipelineOptions {
+  PipelineOptions() = default;
+  PipelineOptions(std::size_t workers_, std::size_t restarts_,
+                  bool share_synthesis_cache_ = true, bool verify_ = false)
+      : workers(workers_),
+        restarts(restarts_),
+        share_synthesis_cache(share_synthesis_cache_),
+        verify(verify_) {}
+
   /// Worker threads; 0 = hardware concurrency.
   std::size_t workers = 0;
   /// Restarts per compile in compile_best / compile_batch_best.
   std::size_t restarts = 1;
   /// Share one synthesis memo across all jobs of a call.
   bool share_synthesis_cache = true;
+  /// Certify every emitted circuit against its compilation spec in-flight
+  /// (verify/equivalence.hpp), parallelized on the same worker pool. Purely
+  /// read-only on the results, so all determinism guarantees are unchanged.
+  bool verify = false;
+  /// Checker knobs used when `verify` is on.
+  verify::EquivalenceOptions verify_options;
 };
 
 class CompilePipeline {
@@ -76,6 +101,15 @@ class CompilePipeline {
   [[nodiscard]] const synth::SynthesisCache& cache() const { return cache_; }
   [[nodiscard]] ThreadPool& pool() { return pool_; }
 
+  /// Verification verdicts of the most recent compile_* call, in job order
+  /// (compile_batch: one per scenario; compile_best / compile_batch_best:
+  /// restarts-major, i.e. scenario i restart r at index i * restarts + r).
+  /// Empty unless PipelineOptions.verify is set.
+  [[nodiscard]] const std::vector<verify::EquivalenceReport>&
+  last_verification() const {
+    return last_verification_;
+  }
+
   /// N independent restarts of one compile; keeps the best-cost plan.
   /// Restart r runs options.seed for r == 0 and a derived stream otherwise,
   /// so the result can never cost more than single-shot compile_vqe(options)
@@ -87,6 +121,7 @@ class CompilePipeline {
     run_jobs(make_restart_jobs(n, terms, options), [&](std::vector<CompileResult> results) {
       out = reduce_restarts(options.seed, std::move(results));
     });
+    out.verification = last_verification_;
     return out;
   }
 
@@ -123,6 +158,12 @@ class CompilePipeline {
             std::make_move_iterator(results.begin() +
                                     static_cast<std::ptrdiff_t>((i + 1) * options_.restarts)));
         out[i] = reduce_restarts(scenarios[i].options.seed, std::move(slice));
+        if (!last_verification_.empty())
+          out[i].verification.assign(
+              last_verification_.begin() +
+                  static_cast<std::ptrdiff_t>(i * options_.restarts),
+              last_verification_.begin() +
+                  static_cast<std::ptrdiff_t>((i + 1) * options_.restarts));
       }
     });
     return out;
@@ -149,15 +190,32 @@ class CompilePipeline {
   }
 
   /// Runs all jobs on the pool (slot-indexed, so output order == input
-  /// order) and hands the complete result vector to `consume`.
+  /// order) and hands the complete result vector to `consume`. With
+  /// PipelineOptions.verify each job also certifies its emitted circuit
+  /// against the recorded spec before returning its slot.
   template <typename Consume>
   void run_jobs(std::vector<Job> jobs, Consume&& consume) {
     std::vector<CompileResult> results(jobs.size());
+    last_verification_.clear();
+    if (options_.verify)
+      last_verification_.resize(jobs.size());
+    const verify::EquivalenceChecker checker(options_.verify_options);
     pool_.parallel_for(jobs.size(), [&](std::size_t i) {
       CompileOptions options = jobs[i].options;
       if (options_.share_synthesis_cache && options.emit_circuit)
         options.synthesis_cache = &cache_;
       results[i] = compile_vqe(jobs[i].num_qubits, *jobs[i].terms, options);
+      if (options_.verify) {
+        if (options.emit_circuit) {
+          last_verification_[i] =
+              checker.check_spec(results[i].circuit, results[i].spec);
+        } else {
+          // Nothing to certify: say so instead of leaving a blank report
+          // that reads like a silent failure.
+          last_verification_[i].detail =
+              "not verified: no circuit emitted (emit_circuit = false)";
+        }
+      }
     });
     consume(std::move(results));
   }
@@ -181,6 +239,7 @@ class CompilePipeline {
   PipelineOptions options_;
   ThreadPool pool_;
   synth::SynthesisCache cache_;
+  std::vector<verify::EquivalenceReport> last_verification_;
 };
 
 }  // namespace femto::core

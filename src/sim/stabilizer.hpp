@@ -1,0 +1,432 @@
+// CHP-style Clifford tableau over the bit-packed gf2:: types.
+//
+// A Clifford unitary U is represented by its conjugation action on the 2n
+// Pauli generators: row j holds U X_j U^dag, row n+j holds U Z_j U^dag, each
+// stored in the symplectic i^k convention of pauli::PauliString
+// (row = i^phase * prod_q X^x_q Z^z_q). The images determine U up to global
+// phase, so tableau equality IS circuit equivalence for Clifford circuits --
+// at any qubit count, in O(gates * n) bit operations, where dense
+// statevector comparison dies beyond ~14 qubits.
+//
+// Two composition modes are provided:
+//
+//  * then_gate(g):  tableau <- conj_g o tableau. Folding a circuit's gates
+//    in time order yields the tableau of the whole circuit. Updates are the
+//    CHP column rules rewritten for the i^k convention (which makes the
+//    CNOT update phase-free -- see pauli/pauli_string.hpp for why), O(1)
+//    word ops per row.
+//  * input_gate(g): tableau <- tableau o conj_{g^dag}. Feeding a circuit's
+//    gates in time order yields the tableau of the circuit's *inverse*,
+//    which is exactly the map P -> C^dag P C that Pauli propagation
+//    (verify/pauli_propagation.hpp) needs to push rotations through a
+//    Clifford prefix. Updates recombine O(1) affected rows via exact-phase
+//    row products, O(n/64) words each.
+//
+// Non-Clifford gates (rotations at generic angles, variational rotations)
+// are rejected: then_gate/input_gate return false and leave the tableau
+// untouched, so callers can fall back to symbolic propagation.
+#pragma once
+
+#include <cmath>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "circuit/quantum_circuit.hpp"
+#include "gf2/bitvec.hpp"
+#include "pauli/pauli_string.hpp"
+
+namespace femto::sim {
+
+namespace detail {
+
+/// Primitive Clifford ops every Clifford GateKind lowers to.
+enum class CliffordPrim : std::uint8_t {
+  kH,
+  kS,
+  kSdg,
+  kX,
+  kY,
+  kZ,
+  kCnot,
+  kCz,
+  kSwap,
+};
+
+struct LoweredClifford {
+  CliffordPrim prim;
+  std::size_t q0 = 0;
+  std::size_t q1 = 0;
+};
+
+/// Quarter turns of an angle: angle = k * pi/2 within tol -> k in {0,1,2,3};
+/// nullopt for non-Clifford angles.
+[[nodiscard]] inline std::optional<int> quarter_turns(double angle,
+                                                      double tol = 1e-9) {
+  const double turns = angle / (M_PI / 2);
+  const double nearest = std::round(turns);
+  if (std::abs(turns - nearest) > tol) return std::nullopt;
+  // & 3 already maps negative counts into [0, 3] (two's complement).
+  return static_cast<int>(std::llround(nearest)) & 3;
+}
+
+/// Emits the Rz(k * pi/2) primitive (up to global phase): I, S, Z, Sdg.
+template <typename Out>
+inline void lower_rz_quarter(int k, std::size_t q, Out& out) {
+  switch (k) {
+    case 1: out.push_back({CliffordPrim::kS, q, 0}); break;
+    case 2: out.push_back({CliffordPrim::kZ, q, 0}); break;
+    case 3: out.push_back({CliffordPrim::kSdg, q, 0}); break;
+    default: break;  // k == 0: identity
+  }
+}
+
+/// exp(-i angle/2 Z@Z) at a Clifford angle: CNOT . Rz(target) . CNOT.
+template <typename Out>
+inline void lower_zz_quarter(int k, std::size_t a, std::size_t b, Out& out) {
+  if (k == 0) return;
+  out.push_back({CliffordPrim::kCnot, a, b});
+  lower_rz_quarter(k, b, out);
+  out.push_back({CliffordPrim::kCnot, a, b});
+}
+
+/// Lowers a gate to primitive Clifford ops (time order). Returns false --
+/// leaving `out` untouched -- when the gate is not Clifford: variational
+/// rotations (param >= 0) and literal rotations off the pi/2 grid.
+[[nodiscard]] inline bool lower_clifford(const circuit::Gate& g,
+                                         std::vector<LoweredClifford>& out) {
+  using circuit::GateKind;
+  const auto rotation_turns = [&]() -> std::optional<int> {
+    if (g.param >= 0) return std::nullopt;  // symbolic angle: never Clifford
+    return quarter_turns(g.angle);
+  };
+  switch (g.kind) {
+    case GateKind::kX: out.push_back({CliffordPrim::kX, g.q0, 0}); return true;
+    case GateKind::kY: out.push_back({CliffordPrim::kY, g.q0, 0}); return true;
+    case GateKind::kZ: out.push_back({CliffordPrim::kZ, g.q0, 0}); return true;
+    case GateKind::kH: out.push_back({CliffordPrim::kH, g.q0, 0}); return true;
+    case GateKind::kS: out.push_back({CliffordPrim::kS, g.q0, 0}); return true;
+    case GateKind::kSdg:
+      out.push_back({CliffordPrim::kSdg, g.q0, 0});
+      return true;
+    case GateKind::kCnot:
+      out.push_back({CliffordPrim::kCnot, g.q0, g.q1});
+      return true;
+    case GateKind::kCz:
+      out.push_back({CliffordPrim::kCz, g.q0, g.q1});
+      return true;
+    case GateKind::kSwap:
+      out.push_back({CliffordPrim::kSwap, g.q0, g.q1});
+      return true;
+    case GateKind::kRz: {
+      const auto k = rotation_turns();
+      if (!k.has_value()) return false;
+      lower_rz_quarter(*k, g.q0, out);
+      return true;
+    }
+    case GateKind::kRx: {
+      // Rx(a) = H Rz(a) H.
+      const auto k = rotation_turns();
+      if (!k.has_value()) return false;
+      if (*k == 0) return true;
+      out.push_back({CliffordPrim::kH, g.q0, 0});
+      lower_rz_quarter(*k, g.q0, out);
+      out.push_back({CliffordPrim::kH, g.q0, 0});
+      return true;
+    }
+    case GateKind::kRy: {
+      // Ry(a) = S H Rz(a) H Sdg (time order: Sdg, H, Rz, H, S).
+      const auto k = rotation_turns();
+      if (!k.has_value()) return false;
+      if (*k == 0) return true;
+      out.push_back({CliffordPrim::kSdg, g.q0, 0});
+      out.push_back({CliffordPrim::kH, g.q0, 0});
+      lower_rz_quarter(*k, g.q0, out);
+      out.push_back({CliffordPrim::kH, g.q0, 0});
+      out.push_back({CliffordPrim::kS, g.q0, 0});
+      return true;
+    }
+    case GateKind::kXXrot: {
+      // exp(-i a/2 X@X) = (H@H) exp(-i a/2 Z@Z) (H@H).
+      const auto k = rotation_turns();
+      if (!k.has_value()) return false;
+      if (*k == 0) return true;
+      out.push_back({CliffordPrim::kH, g.q0, 0});
+      out.push_back({CliffordPrim::kH, g.q1, 0});
+      lower_zz_quarter(*k, g.q0, g.q1, out);
+      out.push_back({CliffordPrim::kH, g.q0, 0});
+      out.push_back({CliffordPrim::kH, g.q1, 0});
+      return true;
+    }
+    case GateKind::kXYrot: {
+      // exp(-i a/2 (XX + YY)): XX and YY commute, so the XX factor above
+      // followed by the YY factor (basis change Y -> Z is Sdg then H).
+      const auto k = rotation_turns();
+      if (!k.has_value()) return false;
+      if (*k == 0) return true;
+      out.push_back({CliffordPrim::kH, g.q0, 0});
+      out.push_back({CliffordPrim::kH, g.q1, 0});
+      lower_zz_quarter(*k, g.q0, g.q1, out);
+      out.push_back({CliffordPrim::kH, g.q0, 0});
+      out.push_back({CliffordPrim::kH, g.q1, 0});
+      for (std::size_t q : {g.q0, g.q1}) {
+        out.push_back({CliffordPrim::kSdg, q, 0});
+        out.push_back({CliffordPrim::kH, q, 0});
+      }
+      lower_zz_quarter(*k, g.q0, g.q1, out);
+      for (std::size_t q : {g.q0, g.q1}) {
+        out.push_back({CliffordPrim::kH, q, 0});
+        out.push_back({CliffordPrim::kS, q, 0});
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace detail
+
+/// One tableau row: i^phase * prod_q X^x_q Z^z_q (the PauliString symplectic
+/// convention, stored flat for cheap in-place bit updates).
+struct TableauRow {
+  gf2::BitVec x;
+  gf2::BitVec z;
+  int phase = 0;  // exponent of the i^k prefactor, mod 4
+
+  [[nodiscard]] bool operator==(const TableauRow&) const = default;
+
+  /// Exact-phase product (same reordering rule as PauliString::operator*).
+  [[nodiscard]] friend TableauRow operator*(const TableauRow& a,
+                                            const TableauRow& b) {
+    TableauRow out;
+    out.x = a.x ^ b.x;
+    out.z = a.z ^ b.z;
+    int k = a.phase + b.phase;
+    if (a.z.dot(b.x)) k += 2;
+    out.phase = k & 3;
+    return out;
+  }
+
+  [[nodiscard]] pauli::PauliString to_pauli() const {
+    pauli::PauliString p(x.size());
+    p.set_symplectic(x, z);
+    p.set_phase_exponent(phase);
+    return p;
+  }
+};
+
+class StabilizerTableau {
+ public:
+  /// Identity tableau: X_j -> X_j, Z_j -> Z_j.
+  explicit StabilizerTableau(std::size_t n) {
+    img_x_.reserve(n);
+    img_z_.reserve(n);
+    for (std::size_t q = 0; q < n; ++q) {
+      TableauRow rx{gf2::BitVec(n), gf2::BitVec(n), 0};
+      rx.x.set(q, true);
+      TableauRow rz{gf2::BitVec(n), gf2::BitVec(n), 0};
+      rz.z.set(q, true);
+      img_x_.push_back(std::move(rx));
+      img_z_.push_back(std::move(rz));
+    }
+  }
+
+  [[nodiscard]] std::size_t num_qubits() const { return img_x_.size(); }
+  [[nodiscard]] const TableauRow& image_x(std::size_t q) const {
+    return img_x_[q];
+  }
+  [[nodiscard]] const TableauRow& image_z(std::size_t q) const {
+    return img_z_[q];
+  }
+
+  [[nodiscard]] bool operator==(const StabilizerTableau&) const = default;
+
+  [[nodiscard]] bool is_identity() const {
+    const StabilizerTableau id(num_qubits());
+    return *this == id;
+  }
+
+  /// U P U^dag for the represented U, with exact phase (generator products,
+  /// like pauli::CliffordMap::apply but over the packed rows).
+  [[nodiscard]] pauli::PauliString apply(const pauli::PauliString& p) const {
+    FEMTO_EXPECTS(p.num_qubits() == num_qubits());
+    TableauRow out{gf2::BitVec(num_qubits()), gf2::BitVec(num_qubits()), 0};
+    for (std::size_t q = 0; q < num_qubits(); ++q) {
+      if (p.x().get(q)) out = out * img_x_[q];
+      if (p.z().get(q)) out = out * img_z_[q];
+    }
+    out.phase = (out.phase + p.phase_exponent()) & 3;
+    return out.to_pauli();
+  }
+
+  // --- forward composition: tableau <- conj_g o tableau -----------------
+  //
+  // Folding a circuit gate-by-gate in time order yields the conjugation map
+  // of the whole circuit. Returns false (tableau unchanged) on non-Clifford
+  // gates.
+
+  [[nodiscard]] bool then_gate(const circuit::Gate& g) {
+    std::vector<detail::LoweredClifford> prims;
+    if (!detail::lower_clifford(g, prims)) return false;
+    for (const auto& p : prims) then_prim(p);
+    return true;
+  }
+
+  /// Tableau of a whole circuit; nullopt when any gate is non-Clifford.
+  [[nodiscard]] static std::optional<StabilizerTableau> from_circuit(
+      const circuit::QuantumCircuit& c) {
+    StabilizerTableau t(c.num_qubits());
+    for (const circuit::Gate& g : c.gates())
+      if (!t.then_gate(g)) return std::nullopt;
+    return t;
+  }
+
+  // --- input-side composition: tableau <- tableau o conj_{g^dag} --------
+  //
+  // Feeding circuit gates in time order builds the map P -> C^dag P C of
+  // the accumulated Clifford prefix C -- what Pauli propagation conjugates
+  // rotations with. Returns false (tableau unchanged) on non-Clifford
+  // gates.
+
+  [[nodiscard]] bool input_gate(const circuit::Gate& g) {
+    std::vector<detail::LoweredClifford> prims;
+    if (!detail::lower_clifford(g, prims)) return false;
+    for (const auto& p : prims) input_prim(p);
+    return true;
+  }
+
+ private:
+  using Prim = detail::CliffordPrim;
+
+  /// Conjugates every row by one primitive: CHP column updates in the i^k
+  /// convention (phase deltas derived from X^x Z^z reordering; the CNOT and
+  /// SWAP updates are phase-free in this convention).
+  void then_prim(const detail::LoweredClifford& p) {
+    const std::size_t a = p.q0;
+    const std::size_t b = p.q1;
+    for (auto* table : {&img_x_, &img_z_}) {
+      for (TableauRow& r : *table) {
+        const bool xa = r.x.get(a);
+        const bool za = r.z.get(a);
+        switch (p.prim) {
+          case Prim::kH:
+            if (xa && za) r.phase = (r.phase + 2) & 3;
+            r.x.set(a, za);
+            r.z.set(a, xa);
+            break;
+          case Prim::kS:
+            if (xa) {
+              r.phase = (r.phase + 1) & 3;
+              r.z.flip(a);
+            }
+            break;
+          case Prim::kSdg:
+            if (xa) {
+              r.phase = (r.phase + 3) & 3;
+              r.z.flip(a);
+            }
+            break;
+          case Prim::kX:
+            if (za) r.phase = (r.phase + 2) & 3;
+            break;
+          case Prim::kY:
+            if (xa != za) r.phase = (r.phase + 2) & 3;
+            break;
+          case Prim::kZ:
+            if (xa) r.phase = (r.phase + 2) & 3;
+            break;
+          case Prim::kCnot:
+            if (xa) r.x.flip(b);
+            if (r.z.get(b)) r.z.flip(a);
+            break;
+          case Prim::kCz:
+            if (xa && r.x.get(b)) r.phase = (r.phase + 2) & 3;
+            if (r.x.get(b)) r.z.flip(a);
+            if (xa) r.z.flip(b);
+            break;
+          case Prim::kSwap: {
+            const bool xb = r.x.get(b);
+            const bool zb = r.z.get(b);
+            r.x.set(a, xb);
+            r.x.set(b, xa);
+            r.z.set(a, zb);
+            r.z.set(b, za);
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  /// Pre-composes with conj_{p^dag}: the images of the generators the
+  /// primitive touches are recombined from current rows via exact-phase row
+  /// products (e.g. CNOT: X_c -> X_c X_t, so img_x[c] *= img_x[t]).
+  void input_prim(const detail::LoweredClifford& p) {
+    const std::size_t a = p.q0;
+    const std::size_t b = p.q1;
+    switch (p.prim) {
+      case Prim::kH:
+        // H X H = Z, H Z H = X.
+        std::swap(img_x_[a], img_z_[a]);
+        break;
+      case Prim::kS:
+        // conj by S^dag: X -> -Y = i^3 X Z.
+        img_x_[a] = img_x_[a] * img_z_[a];
+        img_x_[a].phase = (img_x_[a].phase + 3) & 3;
+        break;
+      case Prim::kSdg:
+        // conj by S: X -> Y = i X Z.
+        img_x_[a] = img_x_[a] * img_z_[a];
+        img_x_[a].phase = (img_x_[a].phase + 1) & 3;
+        break;
+      case Prim::kX:
+        img_z_[a].phase = (img_z_[a].phase + 2) & 3;
+        break;
+      case Prim::kY:
+        img_x_[a].phase = (img_x_[a].phase + 2) & 3;
+        img_z_[a].phase = (img_z_[a].phase + 2) & 3;
+        break;
+      case Prim::kZ:
+        img_x_[a].phase = (img_x_[a].phase + 2) & 3;
+        break;
+      case Prim::kCnot:
+        // X_c -> X_c X_t, Z_t -> Z_c Z_t; X_t and Z_c fixed.
+        img_x_[a] = img_x_[a] * img_x_[b];
+        img_z_[b] = img_z_[a] * img_z_[b];
+        break;
+      case Prim::kCz:
+        // X_a -> X_a Z_b, X_b -> X_b Z_a; Z images fixed.
+        img_x_[a] = img_x_[a] * img_z_[b];
+        img_x_[b] = img_x_[b] * img_z_[a];
+        break;
+      case Prim::kSwap:
+        std::swap(img_x_[a], img_x_[b]);
+        std::swap(img_z_[a], img_z_[b]);
+        break;
+    }
+  }
+
+  std::vector<TableauRow> img_x_;
+  std::vector<TableauRow> img_z_;
+};
+
+/// First generator whose images differ between two tableaus, as a
+/// human-readable string; empty when the tableaus agree. Row q reports the
+/// X_q image, row n+q the Z_q image.
+[[nodiscard]] inline std::string tableau_mismatch(const StabilizerTableau& a,
+                                                  const StabilizerTableau& b) {
+  FEMTO_EXPECTS(a.num_qubits() == b.num_qubits());
+  for (std::size_t q = 0; q < a.num_qubits(); ++q) {
+    if (!(a.image_x(q) == b.image_x(q)))
+      return "image of X_" + std::to_string(q) + " differs: " +
+             a.image_x(q).to_pauli().to_string() + " vs " +
+             b.image_x(q).to_pauli().to_string();
+    if (!(a.image_z(q) == b.image_z(q)))
+      return "image of Z_" + std::to_string(q) + " differs: " +
+             a.image_z(q).to_pauli().to_string() + " vs " +
+             b.image_z(q).to_pauli().to_string();
+  }
+  return {};
+}
+
+}  // namespace femto::sim

@@ -1,0 +1,260 @@
+// Symbolic Pauli propagation: circuits as canonical rotation normal forms.
+//
+// Any femto circuit is an interleaving of Clifford gates and Pauli-string
+// rotations exp(-i angle/2 P) (Rz/Rx/Ry, XX rotations, and the XY/Givens
+// block, whose XX and YY halves commute). Pushing every rotation through the
+// Clifford prefix C accumulated so far,
+//
+//   exp(-i a/2 P) . C  =  C . exp(-i a/2 C^dag P C),
+//
+// turns the circuit into U = C_total . R_m ... R_1 with conjugated rotations
+// R_k. Rotation angles stay symbolic: a variational gate contributes the
+// pair (angle coefficient, parameter index), so two compilations of the same
+// PauliSum plan are compared exactly, for ALL parameter values at once, in
+// O(gates * n) GF(2) word operations -- no statevector, no qubit limit.
+//
+// The propagator maintains C^dag as a sim::StabilizerTableau via input-side
+// composition and emits SymbolicRotations with canonical +1-sign Hermitian
+// strings. normalize() then brings rotation lists into a normal form
+// (merging equal rotations across commuting neighbours, canonicalizing
+// literal angles mod 2pi, and bubble-sorting under the commutation partial
+// order) so that equal normal forms + equal trailing Cliffords certify
+// unitary equivalence up to global phase.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "circuit/quantum_circuit.hpp"
+#include "pauli/pauli_string.hpp"
+#include "sim/stabilizer.hpp"
+#include "verify/spec.hpp"
+
+namespace femto::verify {
+
+/// exp(-i (coeff * theta[param])/2 * string), or exp(-i coeff/2 * string)
+/// for literal rotations (param < 0). `string` is canonical: Hermitian with
+/// letter-form sign +1 (any -1 is folded into coeff).
+struct SymbolicRotation {
+  pauli::PauliString string;
+  double coeff = 0.0;
+  int param = -1;
+};
+
+/// Canonical form of a circuit: trailing-Clifford tableau (stored as the
+/// *inverse* map C^dag, which compares identically) plus the propagated
+/// rotation list in time order.
+struct CanonicalForm {
+  std::vector<SymbolicRotation> rotations;
+  sim::StabilizerTableau inverse_clifford;
+
+  explicit CanonicalForm(std::size_t n) : inverse_clifford(n) {}
+};
+
+class PauliPropagator {
+ public:
+  explicit PauliPropagator(std::size_t n) : form_(n) {}
+
+  [[nodiscard]] std::size_t num_qubits() const {
+    return form_.inverse_clifford.num_qubits();
+  }
+
+  /// Feeds one gate in time order. Clifford gates (including literal
+  /// rotations at pi/2 multiples) fold into the tableau; everything else
+  /// becomes one or two symbolic rotations.
+  void feed_gate(const circuit::Gate& g) {
+    using circuit::GateKind;
+    if (form_.inverse_clifford.input_gate(g)) return;
+    switch (g.kind) {
+      case GateKind::kRz:
+        feed_rotation(single(g.q0, pauli::Letter::Z), g.angle, g.param);
+        break;
+      case GateKind::kRx:
+        feed_rotation(single(g.q0, pauli::Letter::X), g.angle, g.param);
+        break;
+      case GateKind::kRy:
+        feed_rotation(single(g.q0, pauli::Letter::Y), g.angle, g.param);
+        break;
+      case GateKind::kXXrot:
+        feed_rotation(pair(g.q0, g.q1, pauli::Letter::X, pauli::Letter::X),
+                      g.angle, g.param);
+        break;
+      case GateKind::kXYrot:
+        // exp(-i a/2 (XX + YY)): the halves commute, order immaterial.
+        feed_rotation(pair(g.q0, g.q1, pauli::Letter::X, pauli::Letter::X),
+                      g.angle, g.param);
+        feed_rotation(pair(g.q0, g.q1, pauli::Letter::Y, pauli::Letter::Y),
+                      g.angle, g.param);
+        break;
+      default:
+        // input_gate handles every non-rotation kind.
+        FEMTO_ASSERT(false && "unreachable: non-Clifford non-rotation gate");
+    }
+  }
+
+  /// Feeds exp(-i (coeff * theta[param])/2 * p) at the current position.
+  /// `p` must be Hermitian with letter sign +-1 (the -1 is folded in).
+  void feed_rotation(const pauli::PauliString& p, double coeff, int param) {
+    SymbolicRotation rot;
+    rot.string = form_.inverse_clifford.apply(p);
+    const pauli::Complex sign = rot.string.sign();
+    FEMTO_EXPECTS(std::abs(sign.imag()) < 1e-12);  // Hermitian image
+    rot.coeff = coeff * sign.real();
+    canonicalize_string(rot.string);
+    rot.param = param;
+    // Cheap online compaction: merge into an immediately preceding equal
+    // rotation (the common close/reopen pattern).
+    if (!form_.rotations.empty()) {
+      SymbolicRotation& last = form_.rotations.back();
+      if (last.param == rot.param && last.string.same_letters(rot.string)) {
+        last.coeff += rot.coeff;
+        if (droppable(last)) form_.rotations.pop_back();
+        return;
+      }
+    }
+    form_.rotations.push_back(std::move(rot));
+  }
+
+  void feed_spec_op(const SpecOp& op) {
+    if (op.kind == SpecOp::Kind::kGate)
+      feed_gate(op.gate);
+    else
+      feed_rotation(op.block.string, op.block.angle_coeff, op.block.param);
+  }
+
+  /// Finishes propagation: normalizes the rotation list and returns the
+  /// canonical form.
+  [[nodiscard]] CanonicalForm take(double tol = 1e-9) {
+    normalize(form_.rotations, tol);
+    return std::move(form_);
+  }
+
+  /// Forces letter-form sign +1 (phase exponent = #Y).
+  static void canonicalize_string(pauli::PauliString& s) {
+    s.set_phase_exponent(static_cast<int>((s.x() & s.z()).popcount()));
+  }
+
+  /// True when the rotation is a global-phase no-op: zero effective angle,
+  /// or a literal angle at a multiple of 2pi (exp(-i pi P) = -1).
+  [[nodiscard]] static bool droppable(const SymbolicRotation& r,
+                                      double tol = 1e-9) {
+    if (r.param >= 0) return std::abs(r.coeff) < tol;
+    return std::abs(std::remainder(r.coeff, 2.0 * M_PI)) < tol;
+  }
+
+  /// Normal form of a rotation list: canonical literal angles in (-pi, pi],
+  /// equal rotations merged across commuting separators, and a bounded
+  /// bubble sort that only swaps commuting neighbours (so every pass
+  /// preserves the unitary exactly). Structure: sort to a fixpoint first,
+  /// then merge; a merge shrinks the list (possibly unblocking new swaps),
+  /// so the outer loop re-sorts only while merges keep landing -- the
+  /// O(m^2) merge scan runs at most once per removed element instead of
+  /// once per bubble pass.
+  static void normalize(std::vector<SymbolicRotation>& rots, double tol = 1e-9) {
+    for (SymbolicRotation& r : rots)
+      if (r.param < 0) r.coeff = canonical_angle(r.coeff);
+    std::erase_if(rots, [&](const SymbolicRotation& r) {
+      return droppable(r, tol);
+    });
+    const std::size_t max_rounds = rots.size() + 2;
+    for (std::size_t round = 0; round < max_rounds; ++round) {
+      const std::size_t max_passes = rots.size() + 1;
+      for (std::size_t pass = 0; pass < max_passes; ++pass) {
+        bool swapped = false;
+        for (std::size_t i = 0; i + 1 < rots.size(); ++i) {
+          if (rots[i].string.commutes_with(rots[i + 1].string) &&
+              order_before(rots[i + 1], rots[i])) {
+            std::swap(rots[i], rots[i + 1]);
+            swapped = true;
+          }
+        }
+        if (!swapped) break;
+      }
+      if (!merge_pass(rots, tol)) break;
+    }
+  }
+
+  /// Strict weak order used as the bubble-sort key: parameter index first
+  /// (literals last), then the symplectic words.
+  [[nodiscard]] static bool order_before(const SymbolicRotation& a,
+                                         const SymbolicRotation& b) {
+    const auto rank = [](int param) {
+      return param < 0 ? std::numeric_limits<int>::max() : param;
+    };
+    if (rank(a.param) != rank(b.param)) return rank(a.param) < rank(b.param);
+    if (a.string.x().words() != b.string.x().words())
+      return a.string.x().words() < b.string.x().words();
+    return a.string.z().words() < b.string.z().words();
+  }
+
+ private:
+  [[nodiscard]] pauli::PauliString single(std::size_t q, pauli::Letter l) const {
+    return pauli::PauliString::single(num_qubits(), q, l);
+  }
+
+  [[nodiscard]] pauli::PauliString pair(std::size_t a, std::size_t b,
+                                        pauli::Letter la,
+                                        pauli::Letter lb) const {
+    pauli::PauliString p(num_qubits());
+    p.set_letter(a, la);
+    p.set_letter(b, lb);
+    return p;
+  }
+
+  /// Literal angle mod 2pi into (-pi, pi] (exp(-i a/2 P) at a and a + 2pi
+  /// differ by a global -1).
+  [[nodiscard]] static double canonical_angle(double a) {
+    double r = std::remainder(a, 2.0 * M_PI);  // (-pi, pi]
+    if (r <= -M_PI) r += 2.0 * M_PI;
+    return r;
+  }
+
+  /// Merges rot[j] into rot[i] when they agree on (letters, param) and every
+  /// rotation in between commutes with them (a unitary-preserving move).
+  static bool merge_pass(std::vector<SymbolicRotation>& rots, double tol) {
+    bool changed = false;
+    for (std::size_t i = 0; i < rots.size(); ++i) {
+      for (std::size_t j = i + 1; j < rots.size();) {
+        if (rots[j].param == rots[i].param &&
+            rots[j].string.same_letters(rots[i].string)) {
+          rots[i].coeff += rots[j].coeff;
+          rots.erase(rots.begin() + static_cast<std::ptrdiff_t>(j));
+          changed = true;
+          continue;
+        }
+        if (!rots[j].string.commutes_with(rots[i].string)) break;
+        ++j;
+      }
+      if (droppable(rots[i], tol)) {
+        rots.erase(rots.begin() + static_cast<std::ptrdiff_t>(i));
+        changed = true;
+        --i;
+      }
+    }
+    return changed;
+  }
+
+  CanonicalForm form_;
+};
+
+/// Canonical form of a whole circuit.
+[[nodiscard]] inline CanonicalForm propagate_circuit(
+    const circuit::QuantumCircuit& c, double tol = 1e-9) {
+  PauliPropagator prop(c.num_qubits());
+  for (const circuit::Gate& g : c.gates()) prop.feed_gate(g);
+  return prop.take(tol);
+}
+
+/// Canonical form of a compilation spec.
+[[nodiscard]] inline CanonicalForm propagate_spec(std::size_t n,
+                                                  const CompilationSpec& spec,
+                                                  double tol = 1e-9) {
+  PauliPropagator prop(n);
+  for (const SpecOp& op : spec) prop.feed_spec_op(op);
+  return prop.take(tol);
+}
+
+}  // namespace femto::verify

@@ -1,0 +1,64 @@
+// Shared fixtures for the verification tests and benches (tests/ and
+// bench/ both exercise the checker on the same kinds of inputs; keeping the
+// generators here stops the copies from drifting apart). Not part of the
+// production API.
+#pragma once
+
+#include <vector>
+
+#include "circuit/quantum_circuit.hpp"
+#include "common/rng.hpp"
+#include "gf2/linear_synthesis.hpp"
+#include "synth/cost_model.hpp"
+
+namespace femto::verify::testing {
+
+/// Random rotation-block sequence over n qubits: strings of weight 2 up to
+/// 2 + extra_weight, variational params with probability param_probability,
+/// literal angles otherwise.
+[[nodiscard]] inline std::vector<synth::RotationBlock> random_rotation_blocks(
+    std::size_t n, int count, Rng& rng, double param_probability = 0.7,
+    std::size_t extra_weight = 4) {
+  std::vector<synth::RotationBlock> blocks;
+  int param = 0;
+  for (int k = 0; k < count; ++k) {
+    synth::RotationBlock b;
+    pauli::PauliString s(n);
+    const std::size_t weight = 2 + rng.index(extra_weight);
+    while (s.weight() < weight)
+      s.set_letter(rng.index(n), static_cast<pauli::Letter>(1 + rng.index(3)));
+    b.string = s;
+    b.target = s.support().lowest_set();
+    b.angle_coeff = rng.uniform(-1.5, 1.5);
+    b.param = rng.bernoulli(param_probability) ? param++ : -1;
+    blocks.push_back(std::move(b));
+  }
+  return blocks;
+}
+
+/// Corrupts a circuit by flipping the direction of the first CNOT at or
+/// after `from`. Returns the flipped gate's index, or the circuit size when
+/// no CNOT was found (circuit unchanged).
+inline std::size_t flip_first_cnot(circuit::QuantumCircuit& c,
+                                   std::size_t from = 0) {
+  auto& gates = c.mutable_gates();
+  for (std::size_t k = from; k < gates.size(); ++k) {
+    if (gates[k].kind == circuit::GateKind::kCnot) {
+      std::swap(gates[k].q0, gates[k].q1);
+      return k;
+    }
+  }
+  return gates.size();
+}
+
+/// The CNOT network of a GF(2) matrix as a circuit (the U_Gamma frame used
+/// by the cross-encoding identity C_enc . U_Gamma == U_Gamma . C_jw).
+[[nodiscard]] inline circuit::QuantumCircuit cnot_network_circuit(
+    std::size_t n, const gf2::Matrix& m) {
+  circuit::QuantumCircuit c(n);
+  for (const gf2::CnotGate& g : gf2::synthesize_pmh(m))
+    c.append(circuit::Gate::cnot(g.control, g.target));
+  return c;
+}
+
+}  // namespace femto::verify::testing

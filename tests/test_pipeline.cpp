@@ -203,6 +203,98 @@ TEST(SynthesisCache, HitIsBitIdenticalToFreshSynthesis) {
   EXPECT_EQ(cache.stats().misses, 2u);
 }
 
+TEST(SynthesisCache, ConcurrentHitMissStatsStayConsistent) {
+  // Hammer one shared cache from many threads over a small key set -- the
+  // access pattern of a verification-enabled batch compile. Outputs must be
+  // bit-identical to fresh synthesis, and the stats must add up: every call
+  // is either a hit or a miss, every distinct key at least one miss (racing
+  // first-comers may synthesize a key twice, but never corrupt it).
+  const std::size_t n = 5;
+  Rng rng(61);
+  std::vector<std::vector<synth::RotationBlock>> sequences;
+  for (int s = 0; s < 6; ++s) {
+    std::vector<synth::RotationBlock> seq;
+    for (int k = 0; k < 3; ++k) {
+      synth::RotationBlock b;
+      pauli::PauliString p(n);
+      while (p.weight() < 2)
+        p.set_letter(rng.index(n), static_cast<pauli::Letter>(1 + rng.index(3)));
+      b.string = p;
+      b.target = p.support().lowest_set();
+      b.angle_coeff = rng.uniform(-1, 1);
+      b.param = k;
+      seq.push_back(std::move(b));
+    }
+    sequences.push_back(std::move(seq));
+  }
+  std::vector<std::string> expected;
+  for (const auto& seq : sequences)
+    expected.push_back(synth::synthesize_sequence(n, seq).to_string());
+
+  synth::SynthesisCache cache;
+  constexpr std::size_t kCalls = 600;
+  std::atomic<int> wrong{0};
+  ThreadPool pool(8);
+  pool.parallel_for(kCalls, [&](std::size_t i) {
+    const std::size_t s = i % sequences.size();
+    if (cache.synthesize(n, sequences[s]).to_string() != expected[s])
+      wrong.fetch_add(1);
+  });
+  EXPECT_EQ(wrong.load(), 0);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses, kCalls);
+  EXPECT_GE(stats.misses, sequences.size());
+  EXPECT_EQ(cache.size(), sequences.size());
+}
+
+TEST(Pipeline, VerifyOnCertifiesEveryRestartAndScenario) {
+  const Fixture& f = lih();
+  core::PipelineOptions pipe_options;
+  pipe_options.workers = 4;
+  pipe_options.restarts = 3;
+  pipe_options.verify = true;
+  core::CompilePipeline pipeline(pipe_options);
+  const core::MultiStartResult multi =
+      pipeline.compile_best(f.n, f.terms, fast_options());
+  ASSERT_EQ(multi.verification.size(), 3u);
+  EXPECT_TRUE(multi.all_verified());
+  for (const auto& report : multi.verification)
+    EXPECT_TRUE(report.equivalent()) << report.to_string();
+
+  // Batch-best: per-scenario verification slices, all certified, shared
+  // synthesis cache in heavy concurrent use.
+  core::CompileScenario s;
+  s.name = "lih";
+  s.num_qubits = f.n;
+  s.terms = f.terms;
+  s.options = fast_options();
+  const auto batch = pipeline.compile_batch_best({s, s});
+  ASSERT_EQ(batch.size(), 2u);
+  for (const auto& b : batch) {
+    ASSERT_EQ(b.verification.size(), 3u);
+    EXPECT_TRUE(b.all_verified());
+  }
+  EXPECT_EQ(pipeline.last_verification().size(), 6u);
+  EXPECT_GT(pipeline.cache().stats().hits, 0u);
+}
+
+TEST(Pipeline, VerifyOnDoesNotChangeResults) {
+  const Fixture& f = h2();
+  const core::CompileOptions options = fast_options();
+  core::CompilePipeline plain({2, 2, true});
+  core::PipelineOptions verified_options;
+  verified_options.workers = 2;
+  verified_options.restarts = 2;
+  verified_options.verify = true;
+  core::CompilePipeline verified(verified_options);
+  const auto a = plain.compile_best(f.n, f.terms, options);
+  const auto b = verified.compile_best(f.n, f.terms, options);
+  EXPECT_EQ(a.best_restart, b.best_restart);
+  expect_identical(a.best, b.best);
+  EXPECT_TRUE(a.verification.empty());  // off by default
+  EXPECT_TRUE(b.all_verified());
+}
+
 TEST(Pipeline, ThreadCountInvariance) {
   // 1, 2, and 8 workers must produce bit-identical best plans (gamma, term
   // order, CNOT counts, and the emitted gate stream) for one master seed.

@@ -1,0 +1,195 @@
+// Tests for the CHP-style Clifford tableau (sim/stabilizer.hpp): exact-phase
+// agreement with the generator-product CliffordMap, dense conjugation checks
+// for every Clifford GateKind (including pi/2-grid rotations), the forward /
+// input-side composition duality, and non-Clifford rejection.
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <vector>
+
+#include "circuit/quantum_circuit.hpp"
+#include "common/rng.hpp"
+#include "pauli/clifford_map.hpp"
+#include "sim/stabilizer.hpp"
+#include "sim/statevector.hpp"
+#include "verify/test_support.hpp"
+
+namespace femto::sim {
+namespace {
+
+using circuit::Gate;
+using circuit::GateKind;
+using circuit::QuantumCircuit;
+using pauli::PauliString;
+
+/// Random n-qubit Pauli string (uniform letters), canonical +1 sign.
+PauliString random_pauli(std::size_t n, Rng& rng) {
+  PauliString p(n);
+  for (std::size_t q = 0; q < n; ++q)
+    p.set_letter(q, static_cast<pauli::Letter>(rng.index(4)));
+  return p;
+}
+
+/// Random circuit over the H/S/CNOT generating set.
+QuantumCircuit random_hsc_circuit(std::size_t n, int gates, Rng& rng) {
+  QuantumCircuit c(n);
+  for (int g = 0; g < gates; ++g) {
+    switch (rng.index(3)) {
+      case 0: c.append(Gate::h(rng.index(n))); break;
+      case 1: c.append(Gate::s(rng.index(n))); break;
+      default: {
+        const std::size_t a = rng.index(n);
+        std::size_t b = rng.index(n);
+        if (a == b) b = (b + 1) % n;
+        c.append(Gate::cnot(a, b));
+      }
+    }
+  }
+  return c;
+}
+
+/// P |psi> as a fresh statevector (exact phase via accumulate_pauli).
+StateVector pauli_applied(const StateVector& sv, const PauliString& p) {
+  std::vector<Complex> out(sv.dim(), Complex{0.0, 0.0});
+  sv.accumulate_pauli(p, Complex{1.0, 0.0}, out);
+  StateVector result(sv.num_qubits());
+  result.amplitudes() = std::move(out);
+  return result;
+}
+
+double max_amp_diff(const StateVector& a, const StateVector& b) {
+  double d = 0.0;
+  for (std::size_t i = 0; i < a.dim(); ++i)
+    d = std::max(d, std::abs(a.amplitude(i) - b.amplitude(i)));
+  return d;
+}
+
+/// Checks U P = Q U exactly (no global-phase slack), where Q = tableau(P):
+/// the strongest statement that the tableau tracks conjugation phases right.
+void expect_conjugation_exact(const QuantumCircuit& c, const PauliString& p,
+                              Rng& rng) {
+  const auto tableau = StabilizerTableau::from_circuit(c);
+  ASSERT_TRUE(tableau.has_value()) << c.to_string();
+  const PauliString q = tableau->apply(p);
+  StateVector psi(c.num_qubits());
+  for (auto& amp : psi.amplitudes()) amp = Complex{rng.normal(), rng.normal()};
+  psi.normalize();
+  // U (P |psi>)
+  StateVector lhs = pauli_applied(psi, p);
+  lhs.apply_circuit(c);
+  // Q (U |psi>)
+  StateVector rhs = psi;
+  rhs.apply_circuit(c);
+  rhs = pauli_applied(rhs, q);
+  EXPECT_LT(max_amp_diff(lhs, rhs), 1e-9)
+      << "circuit:\n" << c.to_string() << "P = " << p.to_string()
+      << "  Q = " << q.to_string();
+}
+
+TEST(StabilizerTableau, MatchesCliffordMapOnRandomCircuits) {
+  Rng rng(11);
+  const std::size_t n = 5;
+  for (int rep = 0; rep < 20; ++rep) {
+    const QuantumCircuit c = random_hsc_circuit(n, 40, rng);
+    pauli::CliffordMap map(n);
+    for (const Gate& g : c.gates()) {
+      switch (g.kind) {
+        case GateKind::kH: map.then_hadamard(g.q0); break;
+        case GateKind::kS: map.then_phase(g.q0); break;
+        default: map.then_cnot(g.q0, g.q1);
+      }
+    }
+    const auto tableau = StabilizerTableau::from_circuit(c);
+    ASSERT_TRUE(tableau.has_value());
+    for (int k = 0; k < 8; ++k) {
+      const PauliString p = random_pauli(n, rng);
+      EXPECT_EQ(tableau->apply(p), map.apply(p))
+          << "P = " << p.to_string() << "\n" << c.to_string();
+    }
+  }
+}
+
+TEST(StabilizerTableau, EveryCliffordGateKindConjugatesExactly) {
+  Rng rng(23);
+  const std::size_t n = 3;
+  std::vector<Gate> gates = {
+      Gate::x(0),          Gate::y(1),           Gate::z(2),
+      Gate::h(0),          Gate::s(1),           Gate::sdg(2),
+      Gate::cnot(0, 2),    Gate::cnot(2, 1),     Gate::cz(0, 1),
+      Gate::swap(1, 2),    Gate::rz(0, M_PI_2),  Gate::rz(1, M_PI),
+      Gate::rz(2, -M_PI_2), Gate::rx(0, M_PI_2), Gate::rx(1, M_PI),
+      Gate::ry(2, M_PI_2), Gate::ry(0, -M_PI_2), Gate::ry(1, M_PI),
+      Gate::xxrot(0, 1, M_PI_2), Gate::xxrot(1, 2, -M_PI_2),
+      Gate::xxrot(0, 2, M_PI),   Gate::xyrot(0, 1, M_PI_2),
+      Gate::xyrot(1, 2, M_PI),   Gate::xyrot(0, 2, -M_PI_2),
+      Gate::rz(0, 4.0 * M_PI),   Gate::xxrot(0, 1, 2.0 * M_PI),
+  };
+  for (const Gate& g : gates) {
+    QuantumCircuit c(n);
+    c.append(g);
+    for (int k = 0; k < 6; ++k)
+      expect_conjugation_exact(c, random_pauli(n, rng), rng);
+  }
+  // And mixed circuits over the full Clifford surface.
+  for (int rep = 0; rep < 10; ++rep) {
+    QuantumCircuit c(n);
+    for (int k = 0; k < 15; ++k) c.append(gates[rng.index(gates.size())]);
+    expect_conjugation_exact(c, random_pauli(n, rng), rng);
+  }
+}
+
+TEST(StabilizerTableau, InputCompositionBuildsTheInverseMap) {
+  Rng rng(37);
+  const std::size_t n = 6;
+  for (int rep = 0; rep < 15; ++rep) {
+    const QuantumCircuit c = random_hsc_circuit(n, 50, rng);
+    const auto forward = StabilizerTableau::from_circuit(c);
+    ASSERT_TRUE(forward.has_value());
+    StabilizerTableau inverse(n);
+    for (const Gate& g : c.gates()) ASSERT_TRUE(inverse.input_gate(g));
+    // input-composition over C equals forward folding of C^-1...
+    const auto of_inverse = StabilizerTableau::from_circuit(c.inverse());
+    ASSERT_TRUE(of_inverse.has_value());
+    EXPECT_TRUE(inverse == *of_inverse);
+    // ...and the two maps cancel exactly on arbitrary strings.
+    for (int k = 0; k < 6; ++k) {
+      const PauliString p = random_pauli(n, rng);
+      EXPECT_EQ(inverse.apply(forward->apply(p)), p) << p.to_string();
+    }
+  }
+}
+
+TEST(StabilizerTableau, EqualityDetectsSingleGateCorruption) {
+  Rng rng(41);
+  const std::size_t n = 8;
+  const QuantumCircuit c = random_hsc_circuit(n, 60, rng);
+  const auto reference = StabilizerTableau::from_circuit(c);
+  ASSERT_TRUE(reference.has_value());
+  QuantumCircuit corrupted = c;
+  // Flip one CNOT's direction (guaranteed present with 60 gates).
+  ASSERT_LT(verify::testing::flip_first_cnot(corrupted), corrupted.size());
+  const auto other = StabilizerTableau::from_circuit(corrupted);
+  ASSERT_TRUE(other.has_value());
+  EXPECT_FALSE(*reference == *other);
+  EXPECT_FALSE(tableau_mismatch(*reference, *other).empty());
+  EXPECT_TRUE(tableau_mismatch(*reference, *reference).empty());
+}
+
+TEST(StabilizerTableau, RejectsNonCliffordGatesUntouched) {
+  StabilizerTableau t(2);
+  const StabilizerTableau before = t;
+  EXPECT_FALSE(t.then_gate(Gate::rz(0, 0.3)));
+  EXPECT_FALSE(t.then_gate(Gate::rz(0, M_PI_2, /*param=*/0)));  // variational
+  EXPECT_FALSE(t.then_gate(Gate::xxrot(0, 1, 0.7)));
+  EXPECT_FALSE(t.input_gate(Gate::ry(1, 1.1)));
+  EXPECT_TRUE(t == before);
+  EXPECT_TRUE(t.is_identity());
+  EXPECT_FALSE(StabilizerTableau::from_circuit([] {
+                 QuantumCircuit c(2);
+                 c.append(Gate::rz(0, 0.25));
+                 return c;
+               }()).has_value());
+}
+
+}  // namespace
+}  // namespace femto::sim
