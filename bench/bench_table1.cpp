@@ -14,19 +14,14 @@
 // absolute counts depend on heuristic seeds and the re-implemented baseline
 // (see EXPERIMENTS.md).
 #include <cstdio>
-#include <map>
 
 #include "bench_harness.hpp"
 #include <string>
 #include <vector>
 
-#include "chem/integrals.hpp"
-#include "chem/mo_integrals.hpp"
-#include "chem/molecules.hpp"
-#include "chem/scf.hpp"
+#include "bench_fixtures.hpp"
 #include "core/compiler.hpp"
 #include "vqe/hmp2.hpp"
-#include "vqe/uccsd.hpp"
 
 namespace {
 
@@ -39,72 +34,14 @@ struct Row {
   int paper_jw, paper_bk, paper_gt, paper_adv;
 };
 
-struct Prepared {
-  std::size_t n = 0;
-  std::vector<fermion::ExcitationTerm> terms;
-};
-
-/// Static-MP2 HMP2 term sequences, cached per molecule. The static ranking
-/// reproduces the paper's Table I term choices closely (its water JW counts
-/// 42/44/46 match exactly: the 5th and 6th selected terms are 2-CNOT
-/// bosonic pairs, as in [9]); the *adaptive* HMP2 loop (used by bench_fig5)
-/// reproduces the convergence behaviour instead. See EXPERIMENTS.md.
-Prepared prepare(const chem::Molecule& mol, std::size_t ne) {
-  static std::map<std::string, std::pair<std::size_t,
-                                         std::vector<fermion::ExcitationTerm>>>
-      cache;
-  auto it = cache.find(mol.name);
-  if (it == cache.end()) {
-    auto basis = chem::build_sto3g(mol);
-    chem::normalize_basis(basis);
-    const auto ints = chem::compute_integrals(mol, basis);
-    const auto scf = chem::run_rhf(mol, ints);
-    FEMTO_ASSERT(scf.converged);
-    const auto mo = chem::transform_to_mo(mol, ints, scf);
-    const auto so = chem::to_spin_orbitals(mo);
-    it = cache.emplace(mol.name,
-                       std::make_pair(so.n, vqe::uccsd_hmp2_terms(so)))
-             .first;
-  }
-  Prepared p;
-  p.n = it->second.first;
-  const auto& all_terms = it->second.second;
-  if (ne > all_terms.size()) ne = all_terms.size();
-  p.terms.assign(all_terms.begin(),
-                 all_terms.begin() + static_cast<std::ptrdiff_t>(ne));
-  return p;
-}
-
-core::CompileOptions column_options(const std::string& column,
-                                    std::size_t num_terms) {
-  core::CompileOptions opt;
-  opt.emit_circuit = false;  // counting only; emission is covered by tests
-  // Scale solver budgets down for the big NH3 instance.
-  const bool large = num_terms > 20;
-  opt.sa_options.steps = large ? 500 : 1500;
-  opt.pso_options.iterations = large ? 12 : 60;
-  opt.pso_options.particles = large ? 10 : 20;
-  opt.gtsp_options.generations = large ? 80 : 250;
-  opt.gtsp_options.population = large ? 24 : 32;
-  opt.coloring_orders = 64;
-  if (column == "JW") {
-    opt.transform = core::TransformKind::kJordanWigner;
-    opt.sorting = core::SortingMode::kBaseline;
-    opt.compression = core::CompressionMode::kBosonicOnly;
-  } else if (column == "BK") {
-    opt.transform = core::TransformKind::kBravyiKitaev;
-    opt.sorting = core::SortingMode::kBaseline;
-    opt.compression = core::CompressionMode::kBosonicOnly;
-  } else if (column == "GT") {
-    opt.transform = core::TransformKind::kBaselineGT;
-    opt.sorting = core::SortingMode::kBaseline;
-    opt.compression = core::CompressionMode::kBosonicOnly;
-  } else {  // Adv
-    opt.transform = core::TransformKind::kAdvanced;
-    opt.sorting = core::SortingMode::kAdvanced;
-    opt.compression = core::CompressionMode::kHybrid;
-  }
-  return opt;
+/// Static-MP2 HMP2 term sequences via the shared fixture cache
+/// (bench_fixtures.hpp). The static ranking reproduces the paper's Table I
+/// term choices closely (its water JW counts 42/44/46 match exactly: the
+/// 5th and 6th selected terms are 2-CNOT bosonic pairs, as in [9]); the
+/// *adaptive* HMP2 loop (used by bench_fig5) reproduces the convergence
+/// behaviour instead. See EXPERIMENTS.md.
+bench::TermFixture prepare(const chem::Molecule& mol, std::size_t ne) {
+  return bench::molecule_fixture(mol, ne);
 }
 
 }  // namespace
@@ -142,13 +79,14 @@ int main() {
       "%-9s %4s | %12s %12s %12s %12s | %9s %9s\n", "Molecule", "Ne", "JW",
       "BK", "GT", "Adv", "Impr(%)", "paper(%)");
   for (const Row& row : rows) {
-    const Prepared p = prepare(row.mol, row.ne);
+    const bench::TermFixture p = prepare(row.mol, row.ne);
     int counts[4] = {0, 0, 0, 0};
     const char* columns[4] = {"JW", "BK", "GT", "Adv"};
     h.run("table1/" + row.label, 1, [&] {
       for (int c = 0; c < 4; ++c) {
         const auto res = core::compile_vqe(
-            p.n, p.terms, column_options(columns[c], p.terms.size()));
+            p.n, p.terms,
+            bench::table1_column_options(columns[c], p.terms.size()));
         counts[c] = res.model_cnots;
       }
     });

@@ -36,20 +36,70 @@ enum class GateKind {
   kXYrot,
 };
 
+// The classification switches below are exhaustive on purpose (no default;
+// mirrors QuantumCircuit::inverse): a new GateKind added for native-gate
+// lowering must state its classification explicitly or fail to compile under
+// -Werror=switch, rather than silently landing in a catch-all bucket.
+
 [[nodiscard]] constexpr bool is_two_qubit(GateKind k) {
-  return k == GateKind::kCnot || k == GateKind::kCz || k == GateKind::kSwap ||
-         k == GateKind::kXXrot || k == GateKind::kXYrot;
+  switch (k) {
+    case GateKind::kX:
+    case GateKind::kY:
+    case GateKind::kZ:
+    case GateKind::kH:
+    case GateKind::kS:
+    case GateKind::kSdg:
+    case GateKind::kRz:
+    case GateKind::kRx:
+    case GateKind::kRy: return false;
+    case GateKind::kCnot:
+    case GateKind::kCz:
+    case GateKind::kSwap:
+    case GateKind::kXXrot:
+    case GateKind::kXYrot: return true;
+  }
+  return false;  // unreachable: the switch covers every GateKind
 }
 
 [[nodiscard]] constexpr bool is_rotation(GateKind k) {
-  return k == GateKind::kRz || k == GateKind::kRx || k == GateKind::kRy ||
-         k == GateKind::kXXrot || k == GateKind::kXYrot;
+  switch (k) {
+    case GateKind::kX:
+    case GateKind::kY:
+    case GateKind::kZ:
+    case GateKind::kH:
+    case GateKind::kS:
+    case GateKind::kSdg:
+    case GateKind::kCnot:
+    case GateKind::kCz:
+    case GateKind::kSwap: return false;
+    case GateKind::kRz:
+    case GateKind::kRx:
+    case GateKind::kRy:
+    case GateKind::kXXrot:
+    case GateKind::kXYrot: return true;
+  }
+  return false;  // unreachable: the switch covers every GateKind
 }
 
 /// Diagonal in the computational basis (commutes with CNOT controls).
 [[nodiscard]] constexpr bool is_diagonal(GateKind k) {
-  return k == GateKind::kZ || k == GateKind::kS || k == GateKind::kSdg ||
-         k == GateKind::kRz || k == GateKind::kCz;
+  switch (k) {
+    case GateKind::kZ:
+    case GateKind::kS:
+    case GateKind::kSdg:
+    case GateKind::kRz:
+    case GateKind::kCz: return true;
+    case GateKind::kX:
+    case GateKind::kY:
+    case GateKind::kH:
+    case GateKind::kRx:
+    case GateKind::kRy:
+    case GateKind::kCnot:
+    case GateKind::kSwap:
+    case GateKind::kXXrot:
+    case GateKind::kXYrot: return false;
+  }
+  return false;  // unreachable: the switch covers every GateKind
 }
 
 [[nodiscard]] inline const char* gate_name(GateKind k) {
@@ -149,8 +199,17 @@ struct Gate {
       }
       case GateKind::kXYrot:
         return (param < 0 && std::abs(angle) < 1e-12) ? 0 : 2;
-      default: return 0;
+      case GateKind::kX:
+      case GateKind::kY:
+      case GateKind::kZ:
+      case GateKind::kH:
+      case GateKind::kS:
+      case GateKind::kSdg:
+      case GateKind::kRz:
+      case GateKind::kRx:
+      case GateKind::kRy: return 0;
     }
+    return 0;  // unreachable: the switch covers every GateKind
   }
 
   [[nodiscard]] std::string to_string() const {

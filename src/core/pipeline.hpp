@@ -7,8 +7,10 @@
 //                   Rng stream derived from the master seed (restart 0 runs
 //                   the master seed itself, so it reproduces the historical
 //                   single-shot call bit-for-bit and the multi-restart best
-//                   can never be worse). The winner is the lowest model-CNOT
-//                   plan, ties broken toward the lowest restart index.
+//                   can never be worse). The winner is the lowest-cost plan
+//                   in the TARGET's figure of merit (model CNOTs on the
+//                   default target, device cost otherwise), ties broken
+//                   toward the lowest restart index.
 //  - compile_batch  many scenarios (molecule x transform x sorting mode) in
 //                   one call; results come back in input order.
 //  - compile_batch_best  the cross product: every scenario multi-restarted.
@@ -24,6 +26,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
 #include <string>
 #include <utility>
 #include <vector>
@@ -47,6 +50,10 @@ struct CompileScenario {
 struct RestartReport {
   std::uint64_t seed = 0;
   int model_cnots = 0;
+  /// Target-native model / device costs (== model_cnots / emitted count on
+  /// the default target).
+  int model_cost = 0;
+  int device_cost = 0;
 };
 
 struct MultiStartResult {
@@ -63,6 +70,11 @@ struct MultiStartResult {
       if (!r.equivalent()) return false;
     return true;
   }
+};
+
+struct TargetCompileResult {
+  synth::HardwareTarget target;
+  MultiStartResult result;
 };
 
 struct PipelineOptions {
@@ -83,16 +95,38 @@ struct PipelineOptions {
   /// Certify every emitted circuit against its compilation spec in-flight
   /// (verify/equivalence.hpp), parallelized on the same worker pool. Purely
   /// read-only on the results, so all determinism guarantees are unchanged.
+  /// Non-default targets certify the LOWERED/routed circuit, so the routing
+  /// and native-gate passes are inside the verified boundary.
   bool verify = false;
   /// Checker knobs used when `verify` is on.
   verify::EquivalenceOptions verify_options;
+
+  /// Diagnostic for inconsistent configurations; empty string = valid.
+  [[nodiscard]] std::string validate() const {
+    if (restarts < 1)
+      return "PipelineOptions.restarts must be >= 1 (got " +
+             std::to_string(restarts) + "); a compile needs at least the "
+             "master-seed restart";
+    if (verify && verify_options.allow_dense_fallback &&
+        verify_options.dense_trials < 1)
+      return "PipelineOptions.verify is on but verify_options.dense_trials "
+             "is " +
+             std::to_string(verify_options.dense_trials) +
+             "; the dense arbiter needs at least one trial (or disable "
+             "allow_dense_fallback)";
+    return "";
+  }
 };
 
 class CompilePipeline {
  public:
   explicit CompilePipeline(PipelineOptions options = {})
       : options_(options), pool_(options.workers) {
-    FEMTO_EXPECTS(options_.restarts >= 1);
+    if (const std::string err = options_.validate(); !err.empty()) {
+      std::fprintf(stderr, "femto: invalid PipelineOptions: %s\n",
+                   err.c_str());
+      FEMTO_EXPECTS(false && "invalid PipelineOptions (diagnostic above)");
+    }
   }
 
   [[nodiscard]] std::size_t worker_count() const {
@@ -119,7 +153,7 @@ class CompilePipeline {
       const CompileOptions& options) {
     MultiStartResult out;
     run_jobs(make_restart_jobs(n, terms, options), [&](std::vector<CompileResult> results) {
-      out = reduce_restarts(options.seed, std::move(results));
+      out = reduce_restarts(options.seed, options, std::move(results));
     });
     out.verification = last_verification_;
     return out;
@@ -136,6 +170,34 @@ class CompilePipeline {
     run_jobs(std::move(jobs),
              [&](std::vector<CompileResult> r) { results = std::move(r); });
     return results;
+  }
+
+  /// One multi-restart compile per hardware target (all restarts of all
+  /// targets share one job queue on the pool). Results come back in target
+  /// order; with PipelineOptions.verify on, every restart's lowered/routed
+  /// circuit is certified against its compilation spec, so per-device
+  /// Table-1 comparisons carry equivalence certificates.
+  [[nodiscard]] std::vector<TargetCompileResult> compile_best_for_targets(
+      std::size_t n, const std::vector<fermion::ExcitationTerm>& terms,
+      const CompileOptions& base,
+      const std::vector<synth::HardwareTarget>& targets) {
+    std::vector<CompileScenario> scenarios;
+    scenarios.reserve(targets.size());
+    for (const synth::HardwareTarget& t : targets) {
+      CompileScenario s;
+      s.name = t.name;
+      s.num_qubits = n;
+      s.terms = terms;
+      s.options = base;
+      s.options.target = t;
+      scenarios.push_back(std::move(s));
+    }
+    std::vector<MultiStartResult> multi = compile_batch_best(scenarios);
+    std::vector<TargetCompileResult> out;
+    out.reserve(targets.size());
+    for (std::size_t i = 0; i < targets.size(); ++i)
+      out.push_back({targets[i], std::move(multi[i])});
+    return out;
   }
 
   /// Multi-restarts every scenario; results[i] belongs to scenarios[i]. All
@@ -157,7 +219,8 @@ class CompilePipeline {
                                     static_cast<std::ptrdiff_t>(i * options_.restarts)),
             std::make_move_iterator(results.begin() +
                                     static_cast<std::ptrdiff_t>((i + 1) * options_.restarts)));
-        out[i] = reduce_restarts(scenarios[i].options.seed, std::move(slice));
+        out[i] = reduce_restarts(scenarios[i].options.seed,
+                                 scenarios[i].options, std::move(slice));
         if (!last_verification_.empty())
           out[i].verification.assign(
               last_verification_.begin() +
@@ -207,8 +270,11 @@ class CompilePipeline {
       results[i] = compile_vqe(jobs[i].num_qubits, *jobs[i].terms, options);
       if (options_.verify) {
         if (options.emit_circuit) {
+          // Certify the final artifact: on non-default targets that is the
+          // lowered/routed circuit, so the routing pass and native-gate
+          // lowering sit INSIDE the verified boundary.
           last_verification_[i] =
-              checker.check_spec(results[i].circuit, results[i].spec);
+              checker.check_spec(results[i].final_circuit(), results[i].spec);
         } else {
           // Nothing to certify: say so instead of leaving a blank report
           // that reads like a silent failure.
@@ -220,15 +286,32 @@ class CompilePipeline {
     consume(std::move(results));
   }
 
-  /// Deterministic winner selection: (model_cnots, restart index).
+  /// The figure of merit a restart is ranked by: the historical model-CNOT
+  /// count on the default target (bit-identical winner selection), the
+  /// exact device cost of the lowered/routed artifact on other targets
+  /// (falling back to the closed-form model when nothing was emitted) --
+  /// the pipeline keeps the plan that is best for the DEVICE it compiled
+  /// for, matching the objectives the stochastic stages optimized.
+  [[nodiscard]] static int ranking_cost(const CompileResult& r,
+                                        const CompileOptions& options) {
+    if (options.target.is_all_to_all_cnot()) return r.model_cnots;
+    return options.emit_circuit ? r.device_cost : r.model_cost;
+  }
+
+  /// Deterministic winner selection: (ranking_cost, restart index).
   [[nodiscard]] MultiStartResult reduce_restarts(
-      std::uint64_t master_seed, std::vector<CompileResult> results) {
+      std::uint64_t master_seed, const CompileOptions& options,
+      std::vector<CompileResult> results) {
     MultiStartResult out;
     out.restarts.reserve(results.size());
+    int best_cost = 0;
     for (std::size_t r = 0; r < results.size(); ++r) {
-      out.restarts.push_back(
-          {opt::restart_seed(master_seed, r), results[r].model_cnots});
-      if (r == 0 || results[r].model_cnots < out.best.model_cnots) {
+      out.restarts.push_back({opt::restart_seed(master_seed, r),
+                              results[r].model_cnots, results[r].model_cost,
+                              results[r].device_cost});
+      const int cost = ranking_cost(results[r], options);
+      if (r == 0 || cost < best_cost) {
+        best_cost = cost;
         out.best = std::move(results[r]);
         out.best_restart = r;
       }

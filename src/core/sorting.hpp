@@ -13,6 +13,8 @@
 // nearest-neighbor savings.
 #pragma once
 
+#include <algorithm>
+#include <limits>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -24,25 +26,48 @@
 namespace femto::core {
 
 /// GTSP-based joint sort (order + targets). Returns the blocks in
-/// implementation order with targets assigned.
+/// implementation order with targets assigned. With a non-default
+/// HardwareTarget the GTSP edge weights become the *device* savings
+/// (synth/cost_model.hpp); on connectivity-constrained targets each edge
+/// additionally carries the successor vertex's target-choice bonus (its
+/// cluster-minimal routing-aware string cost minus the vertex's own), so the
+/// solver is steered toward cheap target placements as well as savings. Both
+/// extras are exactly zero for all_to_all_cnot / hw == nullptr, keeping the
+/// historical behavior bit-identical.
 [[nodiscard]] inline std::vector<synth::RotationBlock> sort_advanced(
     const std::vector<synth::RotationBlock>& blocks, Rng& rng,
-    const opt::GtspOptions& options = {}) {
+    const opt::GtspOptions& options = {},
+    const synth::HardwareTarget* hw = nullptr) {
   if (blocks.size() <= 1) return blocks;
   // Vertex table: (block index, target).
   struct Vertex {
     std::size_t block;
     std::size_t target;
+    double bonus;  // cluster-min string cost - this vertex's string cost
   };
   std::vector<Vertex> vertices;
+  const bool device = hw != nullptr && !hw->is_all_to_all_cnot();
+  const bool constrained = device && hw->coupling.constrained();
   opt::GtspInstance inst;
   for (std::size_t k = 0; k < blocks.size(); ++k) {
     std::vector<int> cluster;
+    const std::size_t first = vertices.size();
     for (std::size_t t : valid_targets(blocks[k])) {
       cluster.push_back(static_cast<int>(vertices.size()));
-      vertices.push_back({k, t});
+      vertices.push_back({k, t, 0.0});
     }
     FEMTO_EXPECTS(!cluster.empty());
+    if (constrained) {
+      int min_cost = std::numeric_limits<int>::max();
+      for (std::size_t v = first; v < vertices.size(); ++v)
+        min_cost = std::min(
+            min_cost, synth::string_cost(blocks[k].string,
+                                         vertices[v].target, *hw));
+      for (std::size_t v = first; v < vertices.size(); ++v)
+        vertices[v].bonus = static_cast<double>(
+            min_cost - synth::string_cost(blocks[k].string,
+                                          vertices[v].target, *hw));
+    }
     inst.clusters.push_back(std::move(cluster));
   }
   // Memoized interface savings. Identical letter strings get weight 0 (the
@@ -51,7 +76,7 @@ namespace femto::core {
   auto cache = std::make_shared<std::unordered_map<std::uint64_t, double>>();
   const auto& blocks_ref = blocks;
   const auto& verts_ref = vertices;
-  inst.weight = [cache, &blocks_ref, &verts_ref](int a, int b) {
+  inst.weight = [cache, &blocks_ref, &verts_ref, device, hw](int a, int b) {
     const std::uint64_t key =
         (static_cast<std::uint64_t>(a) << 32) | static_cast<std::uint32_t>(b);
     const auto it = cache->find(key);
@@ -60,8 +85,15 @@ namespace femto::core {
     const Vertex& vb = verts_ref[static_cast<std::size_t>(b)];
     double w = 0.0;
     if (!blocks_ref[va.block].string.same_letters(blocks_ref[vb.block].string))
-      w = synth::interface_saving(blocks_ref[va.block].string, va.target,
-                                  blocks_ref[vb.block].string, vb.target);
+      w = device ? synth::interface_saving(blocks_ref[va.block].string,
+                                           va.target,
+                                           blocks_ref[vb.block].string,
+                                           vb.target, *hw)
+                 : synth::interface_saving(blocks_ref[va.block].string,
+                                           va.target,
+                                           blocks_ref[vb.block].string,
+                                           vb.target);
+    w += vb.bonus;
     cache->emplace(key, w);
     return w;
   };
@@ -88,7 +120,8 @@ struct IntraResult {
 };
 
 [[nodiscard]] inline IntraResult held_karp_order(
-    const std::vector<synth::RotationBlock>& blocks, std::size_t target) {
+    const std::vector<synth::RotationBlock>& blocks, std::size_t target,
+    const synth::HardwareTarget* hw = nullptr) {
   const std::size_t m = blocks.size();
   FEMTO_EXPECTS(m >= 1 && m <= 16);
   // Pairwise savings with the shared target.
@@ -97,8 +130,11 @@ struct IntraResult {
     for (std::size_t j = 0; j < m; ++j)
       if (i != j &&
           !blocks[i].string.same_letters(blocks[j].string))
-        w[i][j] = synth::interface_saving(blocks[i].string, target,
-                                          blocks[j].string, target);
+        w[i][j] = hw != nullptr
+                      ? synth::interface_saving(blocks[i].string, target,
+                                                blocks[j].string, target, *hw)
+                      : synth::interface_saving(blocks[i].string, target,
+                                                blocks[j].string, target);
   const std::size_t full = std::size_t{1} << m;
   std::vector<std::vector<int>> dp(full, std::vector<int>(m, -1));
   std::vector<std::vector<int>> parent(full, std::vector<int>(m, -1));
@@ -157,18 +193,23 @@ struct IntraResult {
 
 /// Baseline sort: per-term shared target + exact intra-term order, then
 /// doubly-greedy inter-term ordering (group by target, nearest-neighbor
-/// within and across groups).
+/// within and across groups). With a non-default HardwareTarget, savings are
+/// the device savings and the shared-target choice additionally weighs the
+/// routing-aware string costs (zero delta on unconstrained targets).
 [[nodiscard]] inline std::vector<synth::RotationBlock> sort_baseline(
-    const std::vector<std::vector<synth::RotationBlock>>& per_term) {
+    const std::vector<std::vector<synth::RotationBlock>>& per_term,
+    const synth::HardwareTarget* hw = nullptr) {
   struct TermPlan {
     std::vector<synth::RotationBlock> ordered;  // with targets assigned
     std::size_t target = 0;
   };
+  const synth::HardwareTarget* device =
+      hw != nullptr && !hw->is_all_to_all_cnot() ? hw : nullptr;
   std::vector<TermPlan> plans;
   for (const auto& term_blocks : per_term) {
     if (term_blocks.empty()) continue;
     TermPlan best;
-    int best_savings = -1;
+    int best_savings = std::numeric_limits<int>::min();
     std::vector<std::size_t> candidates = detail::common_targets(term_blocks);
     if (candidates.empty()) candidates = valid_targets(term_blocks[0]);
     for (std::size_t t : candidates) {
@@ -176,9 +217,14 @@ struct IntraResult {
       std::vector<synth::RotationBlock> with_target = term_blocks;
       for (auto& b : with_target)
         if (b.string.letter(t) != pauli::Letter::I) b.target = t;
-      const detail::IntraResult res = detail::held_karp_order(with_target, t);
-      if (res.savings > best_savings) {
-        best_savings = res.savings;
+      const detail::IntraResult res =
+          detail::held_karp_order(with_target, t, device);
+      int savings = res.savings;
+      if (device != nullptr && device->coupling.constrained())
+        for (const auto& b : with_target)
+          savings -= synth::string_cost(b.string, b.target, *device);
+      if (savings > best_savings) {
+        best_savings = savings;
         best.target = t;
         best.ordered.clear();
         for (std::size_t idx : res.order)
@@ -202,12 +248,15 @@ struct IntraResult {
   }
   std::sort(groups.begin(), groups.end(),
             [](const auto& a, const auto& b) { return a.size() > b.size(); });
-  const auto boundary_saving = [](const TermPlan& a, const TermPlan& b) {
+  const auto boundary_saving = [device](const TermPlan& a, const TermPlan& b) {
     const synth::RotationBlock& last = a.ordered.back();
     const synth::RotationBlock& first = b.ordered.front();
     if (last.string.same_letters(first.string)) return 0;
-    return synth::interface_saving(last.string, last.target, first.string,
-                                   first.target);
+    return device != nullptr
+               ? synth::interface_saving(last.string, last.target,
+                                         first.string, first.target, *device)
+               : synth::interface_saving(last.string, last.target,
+                                         first.string, first.target);
   };
   std::vector<synth::RotationBlock> out;
   for (auto& group : groups) {
@@ -238,12 +287,29 @@ struct IntraResult {
 }
 
 /// Fast per-term cost used inside annealing loops: nearest-neighbor chain
-/// with per-block target freedom, no inter-term credit.
+/// with per-block target freedom, no inter-term credit. With a non-default
+/// HardwareTarget this is the device-cost analogue (for constrained targets,
+/// string costs use the cheapest routing-aware target per block).
 [[nodiscard]] inline int fast_term_cost(
-    const std::vector<synth::RotationBlock>& blocks) {
+    const std::vector<synth::RotationBlock>& blocks,
+    const synth::HardwareTarget* hw = nullptr) {
   if (blocks.empty()) return 0;
+  const synth::HardwareTarget* device =
+      hw != nullptr && !hw->is_all_to_all_cnot() ? hw : nullptr;
   int total = 0;
-  for (const auto& b : blocks) total += synth::string_cost(b.string);
+  for (const auto& b : blocks) {
+    if (device == nullptr) {
+      total += synth::string_cost(b.string);
+    } else if (!device->coupling.constrained()) {
+      total += synth::string_cost(b.string, b.target, *device);
+    } else {
+      int cheapest = std::numeric_limits<int>::max();
+      for (std::size_t t : valid_targets(b))
+        cheapest = std::min(cheapest,
+                            synth::string_cost(b.string, t, *device));
+      total += cheapest;
+    }
+  }
   // Greedy chain: start at block 0 with its first target.
   std::vector<bool> used(blocks.size(), false);
   used[0] = true;
@@ -256,8 +322,12 @@ struct IntraResult {
         continue;
       for (std::size_t t1 : valid_targets(blocks[cur])) {
         if (blocks[cand].string.letter(t1) == pauli::Letter::I) continue;
-        const int s = synth::interface_saving(blocks[cur].string, t1,
-                                              blocks[cand].string, t1);
+        const int s =
+            device != nullptr
+                ? synth::interface_saving(blocks[cur].string, t1,
+                                          blocks[cand].string, t1, *device)
+                : synth::interface_saving(blocks[cur].string, t1,
+                                          blocks[cand].string, t1);
         if (s > best) {
           best = s;
           best_next = cand;

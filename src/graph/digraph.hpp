@@ -110,6 +110,43 @@ struct PeelResult {
   return result;
 }
 
+/// Distance value for vertices unreachable from the BFS source.
+inline constexpr std::size_t kUnreachable = static_cast<std::size_t>(-1);
+
+/// Single-source shortest paths by BFS (unit edge weights). `dist[v]` is the
+/// hop count from `from` (kUnreachable if disconnected); `parent[v]` is the
+/// predecessor of v on one shortest path (kUnreachable for the source and for
+/// unreachable vertices). Used by the connectivity-aware router
+/// (circuit/routing.hpp) to precompute next-hop tables.
+struct BfsPaths {
+  std::vector<std::size_t> dist;
+  std::vector<std::size_t> parent;
+};
+
+[[nodiscard]] inline BfsPaths bfs_shortest_paths(const Digraph& g,
+                                                 std::size_t from) {
+  const std::size_t n = g.size();
+  FEMTO_EXPECTS(from < n);
+  BfsPaths out;
+  out.dist.assign(n, kUnreachable);
+  out.parent.assign(n, kUnreachable);
+  out.dist[from] = 0;
+  std::vector<std::size_t> frontier{from};
+  while (!frontier.empty()) {
+    std::vector<std::size_t> next;
+    for (std::size_t v : frontier) {
+      for (std::size_t u = 0; u < n; ++u) {
+        if (!g.has_edge(v, u) || out.dist[u] != kUnreachable) continue;
+        out.dist[u] = out.dist[v] + 1;
+        out.parent[u] = v;
+        next.push_back(u);
+      }
+    }
+    frontier = std::move(next);
+  }
+  return out;
+}
+
 /// Undirected graph (for coloring), as a symmetric adjacency matrix.
 class UndirectedGraph {
  public:

@@ -13,6 +13,20 @@
 // ladders (target collisions XX, YY, ZZ, XY, YX); otherwise blocks are
 // closed and reopened without merging, which can exceed the model count --
 // reported counts distinguish "model" from "emitted".
+//
+// Native-gate lowering (synth/target.hpp): with EntanglerKind::kXX the same
+// template emits Moelmer-Sorensen pulses instead, in the cheaper of two
+// exact forms (the comparison sequence_model_cost(seq, target) also makes,
+// so model == emitted pulse count on good-interface chains):
+//  * partner form: one support wire -- the partner, xx_partner(P, t) -- is
+//    NOT folded into the target by the ladder; the central stage becomes
+//    exp(-i angle/2 Z_partner Z_t), i.e. one native XX(angle) rotation
+//    conjugated by Hadamards, and every remaining ladder CNOT is one
+//    XX(pi/2) pulse plus single-qubit Cliffords. An isolated weight-w block
+//    costs 2w-3 pulses (1 for w == 2) instead of 2(w-1) CNOTs, but merged
+//    interfaces forgo the partner wires' savings;
+//  * CNOT form: the historical template with each CNOT-equivalent lowered
+//    to one pulse -- wins on deeply merged chains.
 #pragma once
 
 #include <vector>
@@ -21,6 +35,7 @@
 #include "circuit/quantum_circuit.hpp"
 #include "synth/cost_model.hpp"
 #include "synth/su2.hpp"
+#include "synth/target.hpp"
 
 namespace femto::synth {
 
@@ -60,40 +75,97 @@ inline void emit_basis_out(circuit::PeepholeBuilder& out, std::size_t q,
   }
 }
 
-/// Opens a block: basis changes, then the CNOT star into the target.
-inline void emit_open(circuit::PeepholeBuilder& out, const RotationBlock& b) {
+/// One ladder step folding wire q's parity into the target: a CNOT, or its
+/// Moelmer-Sorensen form on XX-native targets.
+inline void emit_ladder(circuit::PeepholeBuilder& out, std::size_t q,
+                        std::size_t t, EntanglerKind native) {
+  if (native == EntanglerKind::kCnot)
+    out.push(Gate::cnot(q, t));
+  else
+    push_xx_cnot(out, q, t);
+}
+
+/// Partner of the XX-native central rotation; target itself when the block
+/// has no other support (w <= 1) or when the partner template is not in use
+/// (CNOT targets, or an XX sequence where the CNOT form is cheaper).
+[[nodiscard]] inline std::size_t block_partner(const RotationBlock& b,
+                                               bool use_partner) {
+  if (!use_partner) return b.target;
+  return xx_partner(b.string, b.target);
+}
+
+/// Opens a block: basis changes, then the CNOT star into the target. On XX
+/// targets the partner wire skips the ladder and the central-rotation
+/// sandwich H_partner H_t is opened instead.
+inline void emit_open(circuit::PeepholeBuilder& out, const RotationBlock& b,
+                      EntanglerKind native, bool use_partner) {
   const auto& p = b.string;
+  const std::size_t partner = block_partner(b, use_partner);
   for (std::size_t q = 0; q < p.num_qubits(); ++q)
     if (p.letter(q) != Letter::I) emit_basis_in(out, q, p.letter(q));
   for (std::size_t q = 0; q < p.num_qubits(); ++q)
-    if (q != b.target && p.letter(q) != Letter::I)
-      out.push(Gate::cnot(q, b.target));
+    if (q != b.target && p.letter(q) != Letter::I &&
+        !(use_partner && q == partner))
+      emit_ladder(out, q, b.target, native);
+  if (use_partner && partner != b.target) {
+    out.push(Gate::h(partner));
+    out.push(Gate::h(b.target));
+  }
+}
+
+/// The central rotation: Rz on the target (all parities folded in), or the
+/// native XX(angle) on (partner, target) inside the Hadamard sandwich.
+inline void emit_rotation(circuit::PeepholeBuilder& out, const RotationBlock& b,
+                          bool use_partner) {
+  const std::size_t partner = block_partner(b, use_partner);
+  if (use_partner && partner != b.target)
+    out.push(Gate::xxrot(partner, b.target, b.angle_coeff, b.param));
+  else
+    out.push(Gate::rz(b.target, b.angle_coeff, b.param));
 }
 
 /// Closes a block: reverse ladder, then inverse basis changes.
-inline void emit_close(circuit::PeepholeBuilder& out, const RotationBlock& b) {
+inline void emit_close(circuit::PeepholeBuilder& out, const RotationBlock& b,
+                       EntanglerKind native, bool use_partner) {
   const auto& p = b.string;
+  const std::size_t partner = block_partner(b, use_partner);
+  if (use_partner && partner != b.target) {
+    out.push(Gate::h(b.target));
+    out.push(Gate::h(partner));
+  }
   for (std::size_t q = p.num_qubits(); q-- > 0;)
-    if (q != b.target && p.letter(q) != Letter::I)
-      out.push(Gate::cnot(q, b.target));
+    if (q != b.target && p.letter(q) != Letter::I &&
+        !(use_partner && q == partner))
+      emit_ladder(out, q, b.target, native);
   for (std::size_t q = 0; q < p.num_qubits(); ++q)
     if (p.letter(q) != Letter::I) emit_basis_out(out, q, p.letter(q));
 }
 
 /// Emits the merged interface between prev and cur (same target t, good
-/// target collision).
+/// target collision). Wires that are the XX-native partner of either block
+/// carry no ladder pulses, so they close/open with basis changes only; the
+/// central sandwiches are closed first and reopened last.
 inline void emit_merged_interface(circuit::PeepholeBuilder& out,
                                   const RotationBlock& prev,
-                                  const RotationBlock& cur) {
+                                  const RotationBlock& cur,
+                                  EntanglerKind native, bool use_partner) {
   const std::size_t t = prev.target;
   const std::size_t n = prev.string.num_qubits();
+  const bool xx = use_partner;
+  const std::size_t partner_prev = block_partner(prev, use_partner);
+  const std::size_t partner_cur = block_partner(cur, use_partner);
+  // 0. Close prev's central sandwich.
+  if (xx && partner_prev != t) {
+    out.push(Gate::h(t));
+    out.push(Gate::h(partner_prev));
+  }
   // 1. Close prev-only wires.
   for (std::size_t q = 0; q < n; ++q) {
     if (q == t) continue;
     const Letter a = prev.string.letter(q);
     const Letter b = cur.string.letter(q);
     if (a != Letter::I && b == Letter::I) {
-      out.push(Gate::cnot(q, t));
+      if (!(xx && q == partner_prev)) emit_ladder(out, q, t, native);
       emit_basis_out(out, q, a);
     }
   }
@@ -107,13 +179,27 @@ inline void emit_merged_interface(circuit::PeepholeBuilder& out,
       emit_basis_in(out, t, b);
     }
   }
-  // 3. Shared wires: equal letters need nothing; differing letters merge to
-  // Rz, XXrot (Clifford angle), Rz.
+  // 3. Shared wires. Ladder-to-ladder: equal letters need nothing; differing
+  // letters merge to Rz, XXrot (Clifford angle), Rz. A wire that is either
+  // block's partner has no ladder pulse to merge: close/open it explicitly.
   for (std::size_t q = 0; q < n; ++q) {
     if (q == t) continue;
     const Letter a = prev.string.letter(q);
     const Letter b = cur.string.letter(q);
-    if (a == Letter::I || b == Letter::I || a == b) continue;
+    if (a == Letter::I || b == Letter::I) continue;
+    if (xx && (q == partner_prev || q == partner_cur)) {
+      // Close prev's use of the wire (ladder pulse unless it was prev's
+      // partner), full basis change, reopen for cur (ladder pulse unless it
+      // is cur's partner -- the sandwich reopens in step 5).
+      if (q != partner_prev) emit_ladder(out, q, t, native);
+      if (a != b) {
+        emit_basis_out(out, q, a);
+        emit_basis_in(out, q, b);
+      }
+      if (q != partner_cur) emit_ladder(out, q, t, native);
+      continue;
+    }
+    if (a == b) continue;
     const Mat2 diff = basis_change(b) * basis_change(a).adjoint();
     const EulerZXZ e = euler_zxz(diff);
     if (std::abs(e.gamma) > 1e-12) out.push(Gate::rz(q, e.gamma));
@@ -127,17 +213,35 @@ inline void emit_merged_interface(circuit::PeepholeBuilder& out,
     const Letter b = cur.string.letter(q);
     if (a == Letter::I && b != Letter::I) {
       emit_basis_in(out, q, b);
-      out.push(Gate::cnot(q, t));
+      if (!(xx && q == partner_cur)) emit_ladder(out, q, t, native);
     }
+  }
+  // 5. Open cur's central sandwich.
+  if (xx && partner_cur != t) {
+    out.push(Gate::h(partner_cur));
+    out.push(Gate::h(t));
   }
 }
 
 }  // namespace detail
 
-/// Synthesizes an ordered block sequence into a circuit.
+/// Synthesizes an ordered block sequence into a circuit in the native gate
+/// set of the given entangler kind (kCnot reproduces the historical emission
+/// gate for gate).
 [[nodiscard]] inline circuit::QuantumCircuit synthesize_sequence(
     std::size_t n, const std::vector<RotationBlock>& seq,
-    MergePolicy policy = MergePolicy::kMerge) {
+    MergePolicy policy = MergePolicy::kMerge,
+    EntanglerKind native = EntanglerKind::kCnot) {
+  // XX-native sequences pick the cheaper of the two exact lowering forms --
+  // the same comparison sequence_model_cost makes, so the model stays equal
+  // to the emitted pulse count. (Connectivity does not enter the choice:
+  // routing applies uniformly to either form.)
+  bool use_partner = false;
+  if (native == EntanglerKind::kXX) {
+    HardwareTarget comparison;
+    comparison.entangler = EntanglerKind::kXX;
+    use_partner = xx_partner_form_wins(seq, comparison);
+  }
   circuit::PeepholeBuilder out(n);
   const RotationBlock* prev = nullptr;
   for (const RotationBlock& b : seq) {
@@ -150,15 +254,15 @@ inline void emit_merged_interface(circuit::PeepholeBuilder& out,
         target_collision_good(prev->string.letter(b.target),
                               b.string.letter(b.target));
     if (merge)
-      detail::emit_merged_interface(out, *prev, b);
+      detail::emit_merged_interface(out, *prev, b, native, use_partner);
     else {
-      if (prev != nullptr) detail::emit_close(out, *prev);
-      detail::emit_open(out, b);
+      if (prev != nullptr) detail::emit_close(out, *prev, native, use_partner);
+      detail::emit_open(out, b, native, use_partner);
     }
-    out.push(circuit::Gate::rz(b.target, b.angle_coeff, b.param));
+    detail::emit_rotation(out, b, use_partner);
     prev = &b;
   }
-  if (prev != nullptr) detail::emit_close(out, *prev);
+  if (prev != nullptr) detail::emit_close(out, *prev, native, use_partner);
   return out.take();
 }
 

@@ -32,11 +32,12 @@ class SynthesisCache {
     std::size_t misses = 0;
   };
 
-  /// Memoized synthesize_sequence(n, seq, policy).
+  /// Memoized synthesize_sequence(n, seq, policy, native).
   [[nodiscard]] circuit::QuantumCircuit synthesize(
       std::size_t n, const std::vector<RotationBlock>& seq,
-      MergePolicy policy = MergePolicy::kMerge) {
-    const std::string key = serialize(n, seq, policy);
+      MergePolicy policy = MergePolicy::kMerge,
+      EntanglerKind native = EntanglerKind::kCnot) {
+    const std::string key = serialize(n, seq, policy, native);
     {
       const std::lock_guard<std::mutex> lock(mutex_);
       const auto it = entries_.find(key);
@@ -47,7 +48,7 @@ class SynthesisCache {
     }
     // Synthesize outside the lock; concurrent first-comers may duplicate the
     // work, but every computation of the same key yields the same circuit.
-    circuit::QuantumCircuit circuit = synthesize_sequence(n, seq, policy);
+    circuit::QuantumCircuit circuit = synthesize_sequence(n, seq, policy, native);
     {
       const std::lock_guard<std::mutex> lock(mutex_);
       ++stats_.misses;
@@ -75,11 +76,12 @@ class SynthesisCache {
  private:
   [[nodiscard]] static std::string serialize(
       std::size_t n, const std::vector<RotationBlock>& seq,
-      MergePolicy policy) {
+      MergePolicy policy, EntanglerKind native) {
     std::string key;
-    key.reserve(16 + seq.size() * (2 * ((n + 63) / 64) + 4) * 8);
+    key.reserve(24 + seq.size() * (2 * ((n + 63) / 64) + 4) * 8);
     append_u64(key, n);
     append_u64(key, static_cast<std::uint64_t>(policy));
+    append_u64(key, static_cast<std::uint64_t>(native));
     for (const RotationBlock& b : seq) {
       for (std::uint64_t w : b.string.x().words()) append_u64(key, w);
       for (std::uint64_t w : b.string.z().words()) append_u64(key, w);

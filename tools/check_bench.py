@@ -27,6 +27,9 @@ Gating rules, tuned so the gate is trustworthy across machines:
 * Metrics listed in ABS_FLOORS are gated by an absolute floor instead of a
   ratio: e.g. statevector kernel speedups must stay >= 1.3x on ANY machine,
   but are not required to match the reference machine's 5-7x.
+* Metrics listed in ABS_EXACT must equal a pinned value exactly
+  (determinism anchors, e.g. the all-to-all hardware target's water CNOT
+  count == the committed Table-1 Adv baseline).
 * metrics prefixed info_ (cache hit counters etc.) are informational only.
 * A section or metric present in the baseline but missing from the fresh
   file fails the gate (coverage must not silently disappear); pass
@@ -55,6 +58,16 @@ ABS_FLOORS = {
     "verify": {"verified_per_s": 25.0},
 }
 
+# suite -> {"section/metric" glob: pinned value}. The metric must equal the
+# pinned value EXACTLY (floor and ceiling at once). Used for determinism
+# anchors: the all-to-all hardware target's water CNOT count must reproduce
+# the committed Table-1 Adv baseline (BENCH_table1.json H2O(14) adv = 108)
+# bit-for-bit -- femto compiles are pure functions of the committed seeds,
+# so any drift here is a real behavior change, not noise.
+ABS_EXACT = {
+    "targets": {"targets/H2O(14)/all_to_all_cnot/model_cnots": 108.0},
+}
+
 
 def is_higher_better(name):
     return any(h in name for h in HIGHER_BETTER_HINTS)
@@ -64,6 +77,13 @@ def abs_floor_for(suite, metric):
     for pattern, floor in ABS_FLOORS.get(suite, {}).items():
         if fnmatch.fnmatch(metric, pattern):
             return floor
+    return None
+
+
+def abs_exact_for(suite, section, metric):
+    for pattern, value in ABS_EXACT.get(suite, {}).items():
+        if fnmatch.fnmatch(f"{section}/{metric}", pattern):
+            return value
     return None
 
 
@@ -105,8 +125,12 @@ def compare(suite, base_sections, fresh_sections, args, rows):
                 continue
             fresh_value = fresh_metrics[metric]
             floor = abs_floor_for(suite, metric)
+            exact = abs_exact_for(suite, section, metric)
             scale = abs(base_value)
-            if floor is not None:
+            if exact is not None:
+                ok = fresh_value == exact
+                detail = f"== {exact:g} (exact pin)"
+            elif floor is not None:
                 ok = fresh_value >= floor
                 detail = f">= {floor:g} (abs floor)"
             elif timing or not is_higher_better(metric):
