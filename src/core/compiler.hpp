@@ -33,8 +33,10 @@
 // the Fenwick matrix embedded over uncompressed modes only.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "circuit/peephole.hpp"
@@ -399,30 +401,37 @@ inline void stage_transform(StageContext& ctx, CompileResult& result,
   const synth::HardwareTarget* hw =
       options.target.coupling.constrained() ? &options.target : nullptr;
 
-  // Fast cost of the fermionic segment under a candidate Gamma.
+  // Per-compile memo for device string costs (support-keyed, exact); shared
+  // between the Gamma objectives and fast_term_cost below. Only device
+  // paths consult it -- the default CNOT model's costs are closed-form.
+  synth::StringCostCache string_cost_cache(options.target);
+  synth::StringCostCache* cache_ptr = hw != nullptr ? &string_cost_cache : nullptr;
+
+  // Fast cost of the fermionic segment under a candidate Gamma
+  // (full-recompute path, used by the PSO / level-labeling baselines; the
+  // advanced SA below evaluates the same objective incrementally).
   const auto gamma_cost = [&](const gf2::Matrix& gamma) -> double {
-    const auto inv = gamma.inverse();
-    if (!inv.has_value()) return 1e18;
-    const gf2::Matrix inv_t = inv->transpose();
-    double total = 0;
-    for (const auto& term_blocks : ctx.fermionic_jw_blocks) {
-      std::vector<synth::RotationBlock> mapped = term_blocks;
-      for (auto& b : mapped) {
-        pauli::PauliString s(n);
-        s.set_symplectic(gamma.apply(b.string.x()), inv_t.apply(b.string.z()));
-        b.string = std::move(s);
-        const std::size_t t = b.string.support().lowest_set();
-        if (t >= n) return 1e18;  // string vanished: degenerate transform
-        b.target = t;
-      }
-      total += fast_term_cost(mapped, hw);
-    }
-    return total;
+    return fermionic_fast_cost(gamma, ctx.fermionic_jw_blocks, hw, cache_ptr);
   };
 
   // Real (final-pipeline) cost of the fermionic segment for a candidate
   // Gamma: conjugate the blocks exactly, run the configured sorter once.
-  const auto real_fermionic_cost = [&](const gf2::Matrix& gamma) -> int {
+  // Memoized per candidate matrix: the cost is a pure function of Gamma
+  // (the sorter runs on a private seed-derived Rng, drawing nothing from the
+  // compile stream), and the PSO / level-labeling searches revisit the same
+  // candidates heavily as they converge, so the exact memo changes no
+  // result while collapsing the dominant Held-Karp/GTSP re-evaluations.
+  std::unordered_map<std::string, int> real_cost_memo;
+  const auto gamma_key = [](const gf2::Matrix& g) {
+    std::string key;
+    key.reserve(g.size() * sizeof(std::uint64_t));
+    for (std::size_t r = 0; r < g.size(); ++r)
+      for (const std::uint64_t w : g.row(r).words())
+        key.append(reinterpret_cast<const char*>(&w), sizeof(w));
+    return key;
+  };
+  const auto real_fermionic_cost_uncached =
+      [&](const gf2::Matrix& gamma) -> int {
     if (ctx.fermionic_jw_blocks.empty()) return 0;
     const transform::LinearEncoding cand{gamma};
     std::vector<synth::RotationBlock> flat;
@@ -453,6 +462,14 @@ inline void stage_transform(StageContext& ctx, CompileResult& result,
       case SortingMode::kNone: ordered = flat; break;
     }
     return synth::sequence_model_cost(ordered, options.target);
+  };
+  const auto real_fermionic_cost = [&](const gf2::Matrix& gamma) -> int {
+    const std::string key = gamma_key(gamma);
+    const auto it = real_cost_memo.find(key);
+    if (it != real_cost_memo.end()) return it->second;
+    const int c = real_fermionic_cost_uncached(gamma);
+    real_cost_memo.emplace(key, c);
+    return c;
   };
 
   gf2::Matrix gamma = gf2::Matrix::identity(n);
@@ -496,8 +513,12 @@ inline void stage_transform(StageContext& ctx, CompileResult& result,
     case TransformKind::kAdvanced: {
       const auto blocks = discover_blocks(n, ctx.fermionic_terms,
                                           ctx.pair_members);
-      GammaState best =
-          anneal_gamma(n, blocks, gamma_cost, rng, options.sa_options);
+      // Incremental SA: bit-identical to
+      // anneal_gamma(n, blocks, gamma_cost, rng, ...) with O(move-delta)
+      // candidate evaluation (see GammaObjective in core/gamma_search.hpp).
+      GammaState best = anneal_gamma_fast(n, blocks, ctx.fermionic_jw_blocks,
+                                          hw, cache_ptr, rng,
+                                          options.sa_options);
       // Small instances: first-improvement hill climb on the *real* cost to
       // close the proxy gap (in-block moves keep GL membership).
       if (ctx.fermionic_jw_blocks.size() <= 12 && !blocks.empty()) {

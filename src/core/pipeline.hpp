@@ -23,6 +23,16 @@
 // deduplicates repeated per-segment synthesis across jobs; it memoizes a
 // pure function, so it never changes results either (see
 // synth/synthesis_cache.hpp).
+//
+// The compile hot paths a job runs on are themselves exact rewrites under
+// the same contract: the incremental Gamma objective replays the SA RNG
+// stream of the full-recompute search (core/gamma_search.hpp), the dense
+// GTSP core replays the lazy solver's stream (opt/gtsp.hpp), and the
+// per-compile StringCostCache / per-Gamma cost memos cache pure functions.
+// All per-job caches and per-thread scratch buffers are confined to one
+// job's stack or thread, so the fan-out shares nothing mutable; restart
+// fan-outs inside one job (e.g. GTSP restarts) share only const
+// precomputed state built before the fan-out (opt/restart.hpp).
 #pragma once
 
 #include <cstdint>

@@ -11,12 +11,22 @@
 // strings, the "exhaustive search" of the baseline); inter-term ordering is
 // doubly greedy -- group terms by best target, order within groups by
 // nearest-neighbor savings.
+//
+// Hot-path layout (all bit-identical to the historical scalar code):
+//  * sort_advanced materializes the GTSP weights straight into a dense
+//    matrix (opt::GtspDense) -- no std::function, no hash-map memo -- and
+//    runs the allocation-free GA core.
+//  * held_karp_order runs on flat per-thread scratch with set-bit iteration
+//    over the subset masks.
+//  * fast_term_cost builds an m x m best-shared-target savings table once
+//    (word-parallel closed form on the default model) and runs the greedy
+//    chain as table lookups; the historical scalar loop survives as
+//    detail::fast_term_cost_reference (test oracle + speedup bench).
 #pragma once
 
 #include <algorithm>
+#include <cstdint>
 #include <limits>
-#include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "core/rotation_blocks.hpp"
@@ -48,7 +58,7 @@ namespace femto::core {
   std::vector<Vertex> vertices;
   const bool device = hw != nullptr && !hw->is_all_to_all_cnot();
   const bool constrained = device && hw->coupling.constrained();
-  opt::GtspInstance inst;
+  opt::GtspDense inst;
   for (std::size_t k = 0; k < blocks.size(); ++k) {
     std::vector<int> cluster;
     const std::size_t first = vertices.size();
@@ -70,33 +80,29 @@ namespace femto::core {
     }
     inst.clusters.push_back(std::move(cluster));
   }
-  // Memoized interface savings. Identical letter strings get weight 0 (the
+  // Dense interface-saving table. Identical letter strings get weight 0 (the
   // paper inserts no edge between equal strings; adjacency is allowed but
-  // yields no credit).
-  auto cache = std::make_shared<std::unordered_map<std::uint64_t, double>>();
-  const auto& blocks_ref = blocks;
-  const auto& verts_ref = vertices;
-  inst.weight = [cache, &blocks_ref, &verts_ref, device, hw](int a, int b) {
-    const std::uint64_t key =
-        (static_cast<std::uint64_t>(a) << 32) | static_cast<std::uint32_t>(b);
-    const auto it = cache->find(key);
-    if (it != cache->end()) return it->second;
-    const Vertex& va = verts_ref[static_cast<std::size_t>(a)];
-    const Vertex& vb = verts_ref[static_cast<std::size_t>(b)];
-    double w = 0.0;
-    if (!blocks_ref[va.block].string.same_letters(blocks_ref[vb.block].string))
-      w = device ? synth::interface_saving(blocks_ref[va.block].string,
-                                           va.target,
-                                           blocks_ref[vb.block].string,
-                                           vb.target, *hw)
-                 : synth::interface_saving(blocks_ref[va.block].string,
-                                           va.target,
-                                           blocks_ref[vb.block].string,
-                                           vb.target);
-    w += vb.bonus;
-    cache->emplace(key, w);
-    return w;
-  };
+  // yields no credit). Intra-cluster pairs are never consulted and stay 0.
+  inst.allocate();
+  for (std::size_t a = 0; a < vertices.size(); ++a) {
+    const Vertex& va = vertices[a];
+    for (std::size_t b = 0; b < vertices.size(); ++b) {
+      const Vertex& vb = vertices[b];
+      if (va.block == vb.block) continue;
+      double w = 0.0;
+      if (!blocks[va.block].string.same_letters(blocks[vb.block].string))
+        w = device ? synth::interface_saving(blocks[va.block].string,
+                                             va.target,
+                                             blocks[vb.block].string,
+                                             vb.target, *hw)
+                   : synth::interface_saving(blocks[va.block].string,
+                                             va.target,
+                                             blocks[vb.block].string,
+                                             vb.target);
+      w += vb.bonus;
+      inst.set_weight(static_cast<int>(a), static_cast<int>(b), w);
+    }
+  }
   const opt::GtspSolution sol = opt::solve_gtsp_ga(inst, rng, options);
   std::vector<synth::RotationBlock> out;
   out.reserve(blocks.size());
@@ -124,41 +130,66 @@ struct IntraResult {
     const synth::HardwareTarget* hw = nullptr) {
   const std::size_t m = blocks.size();
   FEMTO_EXPECTS(m >= 1 && m <= 16);
-  // Pairwise savings with the shared target.
-  std::vector<std::vector<int>> w(m, std::vector<int>(m, 0));
+  // Flat per-thread scratch: this is the inner loop of the baseline-search
+  // objective (one call per term per candidate target per candidate Gamma),
+  // so the 2^m x m tables must not touch the allocator on the steady state.
+  static thread_local std::vector<int> wt, dp, parent;
+  // Column-major savings (wt[j*m + i] = saving of j following i) so the
+  // pull loop below reads both dp and weights sequentially.
+  wt.assign(m * m, 0);
   for (std::size_t i = 0; i < m; ++i)
     for (std::size_t j = 0; j < m; ++j)
       if (i != j &&
           !blocks[i].string.same_letters(blocks[j].string))
-        w[i][j] = hw != nullptr
+        wt[j * m + i] = hw != nullptr
                       ? synth::interface_saving(blocks[i].string, target,
                                                 blocks[j].string, target, *hw)
                       : synth::interface_saving(blocks[i].string, target,
                                                 blocks[j].string, target);
   const std::size_t full = std::size_t{1} << m;
-  std::vector<std::vector<int>> dp(full, std::vector<int>(m, -1));
-  std::vector<std::vector<int>> parent(full, std::vector<int>(m, -1));
-  for (std::size_t k = 0; k < m; ++k) dp[std::size_t{1} << k][k] = 0;
+  dp.resize(full * m);
+  parent.resize(full * m);
+  // Pull form of the subset DP: every relaxation into state (mask, last)
+  // comes from the unique source mask \ {last}, so computing each state
+  // once as a max over that row is exactly the push relaxation -- same
+  // values (savings are non-negative) and the same first-maximizer
+  // tie-break (predecessors scanned in ascending index). Entries for
+  // last not in mask are never read, so no -1 initialization pass is
+  // needed.
+  for (std::size_t k = 0; k < m; ++k) {
+    dp[(std::size_t{1} << k) * m + k] = 0;
+    parent[(std::size_t{1} << k) * m + k] = -1;
+  }
   for (std::size_t mask = 1; mask < full; ++mask) {
-    for (std::size_t last = 0; last < m; ++last) {
-      if (dp[mask][last] < 0 || !(mask & (std::size_t{1} << last))) continue;
-      for (std::size_t next = 0; next < m; ++next) {
-        if (mask & (std::size_t{1} << next)) continue;
-        const std::size_t nmask = mask | (std::size_t{1} << next);
-        const int cand = dp[mask][last] + w[last][next];
-        if (cand > dp[nmask][next]) {
-          dp[nmask][next] = cand;
-          parent[nmask][next] = static_cast<int>(last);
+    if ((mask & (mask - 1)) == 0) continue;  // singletons are base cases
+    for (std::size_t rest = mask; rest != 0; rest &= rest - 1) {
+      const std::size_t last =
+          static_cast<std::size_t>(__builtin_ctzll(rest));
+      const std::size_t pm = mask ^ (std::size_t{1} << last);
+      const int* dp_row = dp.data() + pm * m;
+      const int* w_col = wt.data() + last * m;
+      int best = -1;
+      int best_prev = -1;
+      for (std::size_t prev_bits = pm; prev_bits != 0;
+           prev_bits &= prev_bits - 1) {
+        const std::size_t k =
+            static_cast<std::size_t>(__builtin_ctzll(prev_bits));
+        const int cand = dp_row[k] + w_col[k];
+        if (cand > best) {
+          best = cand;
+          best_prev = static_cast<int>(k);
         }
       }
+      dp[mask * m + last] = best;
+      parent[mask * m + last] = best_prev;
     }
   }
   IntraResult res;
   std::size_t best_last = 0;
   int best = -1;
   for (std::size_t last = 0; last < m; ++last)
-    if (dp[full - 1][last] > best) {
-      best = dp[full - 1][last];
+    if (dp[(full - 1) * m + last] > best) {
+      best = dp[(full - 1) * m + last];
       best_last = last;
     }
   res.savings = best;
@@ -167,7 +198,7 @@ struct IntraResult {
   std::size_t cur = best_last;
   for (std::size_t pos = m; pos-- > 0;) {
     res.order[pos] = cur;
-    const int par = parent[mask][cur];
+    const int par = parent[mask * m + cur];
     mask ^= std::size_t{1} << cur;
     if (par < 0) break;
     cur = static_cast<std::size_t>(par);
@@ -286,11 +317,71 @@ struct IntraResult {
   return out;
 }
 
-/// Fast per-term cost used inside annealing loops: nearest-neighbor chain
-/// with per-block target freedom, no inter-term credit. With a non-default
-/// HardwareTarget this is the device-cost analogue (for constrained targets,
-/// string costs use the cheapest routing-aware target per block).
-[[nodiscard]] inline int fast_term_cost(
+namespace detail {
+
+/// Best shared-target interface saving between two blocks under a device
+/// model: max over the shared support of the per-target device saving
+/// (scalar loop; the default CNOT model uses the closed-form word-parallel
+/// kernel in synth/cost_model.hpp instead). Returns -1 when no shared
+/// target exists.
+[[nodiscard]] inline int best_shared_device_saving(
+    const pauli::PauliString& p1, const pauli::PauliString& p2,
+    const synth::HardwareTarget& hw) {
+  int best = -1;
+  for (std::size_t t = 0; t < p1.num_qubits(); ++t) {
+    if (p1.letter(t) == pauli::Letter::I ||
+        p2.letter(t) == pauli::Letter::I)
+      continue;
+    best = std::max(best, synth::interface_saving(p1, t, p2, t, hw));
+  }
+  return best;
+}
+
+/// Greedy nearest-neighbor chain over a precomputed pair-savings table.
+/// table[i*m + j] is the best shared-target saving of j following i, with
+/// -1 marking pairs that cannot chain (identical letters or no shared
+/// target). Returns the total savings collected along the chain; `used` is
+/// caller scratch of at least m bytes. Selection order and tie-breaks match
+/// the historical nested-loop greedy exactly: candidates are scanned in
+/// ascending index with strict improvement, so the first candidate
+/// achieving the maximal saving wins, and when every candidate is
+/// unreachable the lowest-index unused block is taken with zero credit.
+[[nodiscard]] inline int greedy_chain_savings(const int* table, std::size_t m,
+                                              std::uint8_t* used) {
+  std::fill(used, used + m, std::uint8_t{0});
+  used[0] = 1;
+  std::size_t cur = 0;
+  int collected = 0;
+  for (std::size_t step = 1; step < m; ++step) {
+    int best = -1;
+    std::size_t best_next = 0;
+    const int* row = table + cur * m;
+    for (std::size_t cand = 0; cand < m; ++cand) {
+      if (used[cand]) continue;
+      if (row[cand] > best) {
+        best = row[cand];
+        best_next = cand;
+      }
+    }
+    if (best < 0) {
+      for (std::size_t cand = 0; cand < m; ++cand)
+        if (!used[cand]) {
+          best_next = cand;
+          best = 0;
+          break;
+        }
+    }
+    collected += std::max(best, 0);
+    used[best_next] = 1;
+    cur = best_next;
+  }
+  return collected;
+}
+
+/// The historical scalar fast_term_cost, preserved as the equivalence
+/// oracle for the table-driven rewrite (tests) and the old-vs-new speedup
+/// bench.
+[[nodiscard]] inline int fast_term_cost_reference(
     const std::vector<synth::RotationBlock>& blocks,
     const synth::HardwareTarget* hw = nullptr) {
   if (blocks.empty()) return 0;
@@ -348,6 +439,68 @@ struct IntraResult {
     cur = best_next;
   }
   return total;
+}
+
+}  // namespace detail
+
+/// Fast per-term cost used inside annealing loops: nearest-neighbor chain
+/// with per-block target freedom, no inter-term credit. With a non-default
+/// HardwareTarget this is the device-cost analogue (for constrained targets,
+/// string costs use the cheapest routing-aware target per block, memoized in
+/// `cost_cache` when one is supplied).
+///
+/// Hot-path shape: the m x m best-shared-target savings table is built first
+/// (word-parallel closed form on the default model, scalar per-target device
+/// savings otherwise) and the greedy chain then runs on table lookups alone;
+/// scratch lives in per-thread buffers, so steady-state calls allocate
+/// nothing. Bit-identical to detail::fast_term_cost_reference.
+[[nodiscard]] inline int fast_term_cost(
+    const std::vector<synth::RotationBlock>& blocks,
+    const synth::HardwareTarget* hw = nullptr,
+    synth::StringCostCache* cost_cache = nullptr) {
+  if (blocks.empty()) return 0;
+  const synth::HardwareTarget* device =
+      hw != nullptr && !hw->is_all_to_all_cnot() ? hw : nullptr;
+  const std::size_t m = blocks.size();
+  int total = 0;
+  for (const auto& b : blocks) {
+    if (device == nullptr) {
+      total += synth::string_cost(b.string);
+    } else if (!device->coupling.constrained()) {
+      total += cost_cache != nullptr
+                   ? cost_cache->cost(b.string, b.target)
+                   : synth::string_cost(b.string, b.target, *device);
+    } else if (cost_cache != nullptr) {
+      total += cost_cache->min_cost(b.string);
+    } else {
+      int cheapest = std::numeric_limits<int>::max();
+      for (std::size_t t : valid_targets(b))
+        cheapest = std::min(cheapest,
+                            synth::string_cost(b.string, t, *device));
+      total += cheapest;
+    }
+  }
+  if (m == 1) return total;
+  static thread_local std::vector<int> table;
+  static thread_local std::vector<std::uint8_t> used;
+  table.resize(m * m);
+  used.resize(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      if (i == j ||
+          blocks[i].string.same_letters(blocks[j].string)) {
+        table[i * m + j] = -1;
+        continue;
+      }
+      table[i * m + j] =
+          device != nullptr
+              ? detail::best_shared_device_saving(blocks[i].string,
+                                                  blocks[j].string, *device)
+              : synth::best_shared_target_saving(blocks[i].string,
+                                                 blocks[j].string);
+    }
+  }
+  return total - detail::greedy_chain_savings(table.data(), m, used.data());
 }
 
 }  // namespace femto::core

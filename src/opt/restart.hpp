@@ -8,6 +8,14 @@
 // by (cost, restart index), which is independent of execution order -- the
 // restarts may therefore run on a ThreadPool with any worker count and the
 // returned result is still bit-identical.
+//
+// Shared inputs: `run` closures should capture their instance data as
+// READ-ONLY precomputed state built before the fan-out -- e.g. the GTSP
+// restart API (opt/gtsp.hpp) materializes its dense weight matrix once on
+// the calling thread and every worker solves against the same const matrix,
+// so per-edge weight work is never repeated per restart (and impure or
+// memoizing weight closures are safe: they run only during the single
+// materialization, never concurrently).
 #pragma once
 
 #include <cstdint>

@@ -17,6 +17,9 @@
 #pragma once
 
 #include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
 #include <vector>
 
 #include "pauli/pauli_string.hpp"
@@ -41,9 +44,45 @@ namespace femto::synth {
          (a == Letter::Y && b == Letter::X);
 }
 
+namespace detail {
+
+/// Popcounts of (a) the common support of two symplectic pairs and (b) the
+/// equal-letter subset of that common support. These two counts determine
+/// every interface saving of the default CNOT model: a common wire always
+/// contributes omega >= 1, and equal letters upgrade to omega = 2 when the
+/// target collision is good.
+struct CommonSupport {
+  int common = 0;
+  int equal = 0;
+};
+
+[[nodiscard]] inline CommonSupport common_support_counts(
+    const gf2::BitVec& x1, const gf2::BitVec& z1, const gf2::BitVec& x2,
+    const gf2::BitVec& z2) {
+  CommonSupport out;
+  const auto& wx1 = x1.words();
+  const auto& wz1 = z1.words();
+  const auto& wx2 = x2.words();
+  const auto& wz2 = z2.words();
+  for (std::size_t w = 0; w < wx1.size(); ++w) {
+    const std::uint64_t common =
+        (wx1[w] | wz1[w]) & (wx2[w] | wz2[w]);
+    out.common += __builtin_popcountll(common);
+    out.equal += __builtin_popcountll(common & ~(wx1[w] ^ wx2[w]) &
+                                      ~(wz1[w] ^ wz2[w]));
+  }
+  return out;
+}
+
+}  // namespace detail
+
 /// Interface CNOT saving between consecutive blocks [p1,t1] then [p2,t2].
 /// Zero unless the targets coincide. Requires both strings non-identity at
-/// their own target (guaranteed for valid target choices).
+/// their own target (guaranteed for valid target choices). Computed
+/// word-parallel over the symplectic components: every common-support wire
+/// other than the target contributes omega = 1, upgraded to omega = 2 on
+/// equal-letter wires when the target collision is good -- identical per-site
+/// semantics to the scalar loop of the paper's formula.
 [[nodiscard]] inline int interface_saving(const pauli::PauliString& p1,
                                           std::size_t t1,
                                           const pauli::PauliString& p2,
@@ -53,18 +92,47 @@ namespace femto::synth {
   FEMTO_EXPECTS(p1.num_qubits() == p2.num_qubits());
   FEMTO_EXPECTS(p1.letter(t1) != Letter::I && p2.letter(t2) != Letter::I);
   const bool good_target = target_collision_good(p1.letter(t1), p2.letter(t1));
-  int saving = 0;
-  for (std::size_t q = 0; q < p1.num_qubits(); ++q) {
-    if (q == t1) continue;
-    const Letter a = p1.letter(q);
-    const Letter b = p2.letter(q);
-    if (a == Letter::I || b == Letter::I) continue;  // omega = 0
-    if (good_target && a == b)
-      saving += 2;  // omega = 2
-    else
-      saving += 1;  // omega = 1
-  }
+  const detail::CommonSupport c =
+      detail::common_support_counts(p1.x(), p1.z(), p2.x(), p2.z());
+  // The target wire is always common; drop it (and its equal-letter credit).
+  int saving = c.common - 1;
+  if (good_target)
+    saving += c.equal - (p1.letter(t1) == p2.letter(t1) ? 1 : 0);
   return saving;
+}
+
+/// Best interface saving between two strings over every shared target
+/// choice, max_t interface_saving(p1, t, p2, t); -1 when the strings share
+/// no support (no shared target exists). Closed form: with C common wires
+/// and E equal-letter wires among them, a good target off the equal set
+/// (an X/Y collision) realizes (C-1) + E, a good equal-letter target
+/// realizes (C-1) + (E-1), and any other shared target realizes C-1.
+[[nodiscard]] inline int best_shared_target_saving(const gf2::BitVec& x1,
+                                                   const gf2::BitVec& z1,
+                                                   const gf2::BitVec& x2,
+                                                   const gf2::BitVec& z2) {
+  const auto& wx1 = x1.words();
+  const auto& wz1 = z1.words();
+  const auto& wx2 = x2.words();
+  const auto& wz2 = z2.words();
+  int common = 0, equal = 0;
+  bool has_xy = false;
+  for (std::size_t w = 0; w < wx1.size(); ++w) {
+    const std::uint64_t c = (wx1[w] | wz1[w]) & (wx2[w] | wz2[w]);
+    common += __builtin_popcountll(c);
+    equal += __builtin_popcountll(c & ~(wx1[w] ^ wx2[w]) & ~(wz1[w] ^ wz2[w]));
+    // X/Y collisions: both x bits set, z bits differing.
+    has_xy = has_xy || (wx1[w] & wx2[w] & (wz1[w] ^ wz2[w])) != 0;
+  }
+  if (common == 0) return -1;
+  if (has_xy) return common - 1 + equal;
+  if (equal > 0) return common - 1 + equal - 1;
+  return common - 1;
+}
+
+[[nodiscard]] inline int best_shared_target_saving(const pauli::PauliString& p1,
+                                                   const pauli::PauliString& p2) {
+  return best_shared_target_saving(p1.x(), p1.z(), p2.x(), p2.z());
 }
 
 /// One rotation block of a synthesized sequence: exp(-i angle/2 * string),
@@ -139,7 +207,9 @@ namespace detail {
   return cost;
 }
 
-/// Interface saving of one lowering form.
+/// Interface saving of one lowering form: the word-parallel common/equal
+/// counts minus the contributions of the excluded wires (the target, and on
+/// the XX partner form the two partner wires, which carry no ladder pulses).
 [[nodiscard]] inline int interface_saving_form(const pauli::PauliString& p1,
                                                std::size_t t1,
                                                const pauli::PauliString& p2,
@@ -149,20 +219,28 @@ namespace detail {
   if (t1 != t2) return 0;
   FEMTO_EXPECTS(p1.num_qubits() == p2.num_qubits());
   FEMTO_EXPECTS(p1.letter(t1) != Letter::I && p2.letter(t2) != Letter::I);
-  const std::size_t partner1 = partner_form ? xx_partner(p1, t1) : t1;
-  const std::size_t partner2 = partner_form ? xx_partner(p2, t2) : t2;
   const bool good_target = target_collision_good(p1.letter(t1), p2.letter(t1));
-  int saving = 0;
-  for (std::size_t q = 0; q < p1.num_qubits(); ++q) {
-    if (q == t1) continue;
-    if (partner_form && (q == partner1 || q == partner2))
-      continue;  // no ladder pulses on partner wires
+  const CommonSupport c = common_support_counts(p1.x(), p1.z(), p2.x(), p2.z());
+  int common = c.common;
+  int equal = c.equal;
+  std::size_t excluded[3] = {t1, t1, t1};
+  std::size_t num_excluded = 1;
+  if (partner_form) {
+    const std::size_t partner1 = xx_partner(p1, t1);
+    const std::size_t partner2 = xx_partner(p2, t2);
+    if (partner1 != t1) excluded[num_excluded++] = partner1;
+    if (partner2 != t2 && partner2 != partner1)
+      excluded[num_excluded++] = partner2;
+  }
+  for (std::size_t k = 0; k < num_excluded; ++k) {
+    const std::size_t q = excluded[k];
     const Letter a = p1.letter(q);
     const Letter b = p2.letter(q);
     if (a == Letter::I || b == Letter::I) continue;
-    saving += (good_target && a == b) ? 2 : 1;
+    --common;
+    if (a == b) --equal;
   }
-  return saving;
+  return common + (good_target ? equal : 0);
 }
 
 /// Total model cost of one lowering form over a sequence.
@@ -224,5 +302,69 @@ namespace detail {
   if (hw.entangler != EntanglerKind::kXX) return cnot_form;
   return std::min(cnot_form, detail::sequence_cost_form(seq, hw, true));
 }
+
+/// Per-thread memo of device string costs. string_cost(p, t, hw) depends
+/// only on the SUPPORT of p (weights, xx_partner, and routing distances are
+/// all letter-blind), so the memo key is (support word, target); the min
+/// over all valid targets of a block is likewise support-only and cached
+/// under a sentinel target slot. Exact memoization of a pure function --
+/// results are bit-identical with or without the cache. Only engaged for
+/// single-word supports (num_qubits <= 58, far above any molecular
+/// instance); wider strings fall through to the direct computation.
+///
+/// One cache serves exactly one HardwareTarget; it is NOT thread-safe and is
+/// meant to live on a single compile's stack (core/compiler.hpp creates one
+/// per stage_transform call, shared between the Gamma objective and
+/// fast_term_cost).
+class StringCostCache {
+ public:
+  explicit StringCostCache(const HardwareTarget& hw) : hw_(&hw) {}
+
+  [[nodiscard]] const HardwareTarget& target() const { return *hw_; }
+
+  /// Memoized string_cost(p, target, hw).
+  [[nodiscard]] int cost(const pauli::PauliString& p, std::size_t target) {
+    if (p.num_qubits() > kMaxQubits) return string_cost(p, target, *hw_);
+    const std::uint64_t key =
+        (support_word(p) << 6) | static_cast<std::uint64_t>(target);
+    const auto it = memo_.find(key);
+    if (it != memo_.end()) return it->second;
+    const int c = string_cost(p, target, *hw_);
+    memo_.emplace(key, c);
+    return c;
+  }
+
+  /// Memoized min over all valid targets (the support sites) of cost(p, t).
+  [[nodiscard]] int min_cost(const pauli::PauliString& p) {
+    if (p.num_qubits() > kMaxQubits) return min_cost_direct(p);
+    const std::uint64_t key = (support_word(p) << 6) | kMinSlot;
+    const auto it = memo_.find(key);
+    if (it != memo_.end()) return it->second;
+    const int c = min_cost_direct(p);
+    memo_.emplace(key, c);
+    return c;
+  }
+
+ private:
+  // Targets index qubits < kMaxQubits < kMinSlot, so the sentinel never
+  // collides with a real target.
+  static constexpr std::size_t kMaxQubits = 58;
+  static constexpr std::uint64_t kMinSlot = 63;
+
+  [[nodiscard]] static std::uint64_t support_word(const pauli::PauliString& p) {
+    return p.x().words()[0] | p.z().words()[0];
+  }
+
+  [[nodiscard]] int min_cost_direct(const pauli::PauliString& p) const {
+    int cheapest = std::numeric_limits<int>::max();
+    for (std::size_t q = 0; q < p.num_qubits(); ++q)
+      if (p.letter(q) != pauli::Letter::I)
+        cheapest = std::min(cheapest, string_cost(p, q, *hw_));
+    return cheapest;
+  }
+
+  const HardwareTarget* hw_;
+  std::unordered_map<std::uint64_t, int> memo_;
+};
 
 }  // namespace femto::synth
