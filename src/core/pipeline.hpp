@@ -37,12 +37,14 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/parallel.hpp"
 #include "core/compiler.hpp"
+#include "db/database.hpp"
 #include "opt/restart.hpp"
 #include "verify/equivalence.hpp"
 
@@ -110,6 +112,17 @@ struct PipelineOptions {
   bool verify = false;
   /// Checker knobs used when `verify` is on.
   verify::EquivalenceOptions verify_options;
+  /// Path to a persistent compilation database (db/database.hpp), attached
+  /// as a read-through L2 behind the shared in-memory memo. Empty = no
+  /// database. The file is opened read-only (mmap, shared across threads
+  /// and processes); a path that fails to open is a loud constructor error,
+  /// never a silently empty database. The database serves the same pure
+  /// function the cache memoizes, so results are bit-identical with the
+  /// database enabled, disabled, cold, or warm -- and verify-on-compile
+  /// certifies served artifacts like any other.
+  std::string database_path;
+  /// Memory bound for the shared synthesis cache (0 fields = unbounded).
+  synth::SynthesisCache::Budget cache_budget;
 
   /// Diagnostic for inconsistent configurations; empty string = valid.
   [[nodiscard]] std::string validate() const {
@@ -131,11 +144,24 @@ struct PipelineOptions {
 class CompilePipeline {
  public:
   explicit CompilePipeline(PipelineOptions options = {})
-      : options_(options), pool_(options.workers) {
+      : options_(std::move(options)),
+        pool_(options_.workers),
+        cache_(options_.cache_budget) {
     if (const std::string err = options_.validate(); !err.empty()) {
       std::fprintf(stderr, "femto: invalid PipelineOptions: %s\n",
                    err.c_str());
       FEMTO_EXPECTS(false && "invalid PipelineOptions (diagnostic above)");
+    }
+    if (!options_.database_path.empty()) {
+      std::string err;
+      database_ = db::Database::open(options_.database_path, &err);
+      if (!database_.has_value()) {
+        std::fprintf(stderr, "femto: cannot open compilation database: %s\n",
+                     err.c_str());
+        FEMTO_EXPECTS(false &&
+                      "cannot open compilation database (diagnostic above)");
+      }
+      cache_.set_store(&*database_);
     }
   }
 
@@ -143,6 +169,16 @@ class CompilePipeline {
     return pool_.worker_count();
   }
   [[nodiscard]] const synth::SynthesisCache& cache() const { return cache_; }
+  /// Mutable cache access (budget changes, attaching a recording store).
+  [[nodiscard]] synth::SynthesisCache& mutable_cache() { return cache_; }
+  /// The database opened from PipelineOptions.database_path, or nullptr.
+  [[nodiscard]] const db::Database* database() const {
+    return database_.has_value() ? &*database_ : nullptr;
+  }
+  /// Attaches a second-level store (e.g. a db::DatabaseBuilder recording a
+  /// cold run for femto-db). Replaces the database from database_path; call
+  /// before compiling, not concurrently with it.
+  void set_store(synth::SynthesisStore* store) { cache_.set_store(store); }
   [[nodiscard]] ThreadPool& pool() { return pool_; }
 
   /// Verification verdicts of the most recent compile_* call, in job order
@@ -332,6 +368,7 @@ class CompilePipeline {
   PipelineOptions options_;
   ThreadPool pool_;
   synth::SynthesisCache cache_;
+  std::optional<db::Database> database_;
   std::vector<verify::EquivalenceReport> last_verification_;
 };
 

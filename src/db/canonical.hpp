@@ -1,0 +1,235 @@
+// Canonical GF(2) signatures for compilation artifacts.
+//
+// The persistent compilation database (db/database.hpp) keys circuits by a
+// *canonical* serialization of the synthesis input, not by whatever bytes a
+// particular caller happened to hold:
+//
+//  canonical_key   the block-sequence NORMAL FORM -- an invertible
+//                  serialization of (n, policy, native, blocks) with every
+//                  representational redundancy stripped:
+//                   - the i^k prefactor is omitted (the synthesizer requires
+//                     letter-form sign +1, so the phase exponent is derived:
+//                     k == #Y mod 4) -- two PauliString representations of
+//                     the same operator map to one key;
+//                   - signed-zero angles are normalized (-0.0 -> +0.0; the
+//                     emitted rotation gates compare equal under IEEE ==).
+//                  Two inputs share a canonical key EXACTLY when
+//                  synthesize_sequence produces gate-for-gate identical
+//                  circuits for them, which is what makes the key safe as a
+//                  serving key under the pipeline's bit-identity contract
+//                  (tests/test_db.cpp proves the property on randomized and
+//                  permuted/relabeled sequences).
+//
+//  orbit_signature the Gamma-ORBIT canonical representative under qubit
+//                  relabeling: qubits are re-labeled by sorting their full
+//                  per-block (letter, is-target) column signatures, which is
+//                  invariant under any permutation of the qubit labels
+//                  (permutations are exactly the monomial subgroup of the
+//                  GL(n,2) Gamma group that preserves synthesized structure;
+//                  general Gamma conjugation changes string weights and
+//                  therefore circuits, so it cannot share artifacts). Ties
+//                  between identical columns are genuine automorphisms --
+//                  swapping such qubits maps every block to itself -- so the
+//                  representative is well-defined. The signature groups
+//                  relabeling-equivalent artifacts for dedup statistics and
+//                  for the encoding-space miner; it is NOT a serving key
+//                  (the synthesizer's emission order is label-dependent, so
+//                  serving across a relabeling would break bit-identity).
+//
+// canonical_key is invertible: decode_key recovers (n, policy, native,
+// blocks) with canonical phases, which lets femto-db verify re-synthesize
+// every stored artifact and compare bit-for-bit.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "synth/pauli_exponential.hpp"
+
+namespace femto::db {
+
+/// FNV-1a 64-bit hash (index hashing; full keys are always compared).
+[[nodiscard]] inline std::uint64_t fnv1a(std::string_view bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+namespace detail {
+
+inline void append_u64(std::string& out, std::uint64_t v) {
+  for (int byte = 0; byte < 8; ++byte)
+    out.push_back(static_cast<char>((v >> (8 * byte)) & 0xff));
+}
+
+[[nodiscard]] inline std::uint64_t read_u64(const unsigned char* p) {
+  std::uint64_t v = 0;
+  for (int byte = 0; byte < 8; ++byte)
+    v |= static_cast<std::uint64_t>(p[byte]) << (8 * byte);
+  return v;
+}
+
+/// +0.0 and -0.0 emit rotation gates that compare equal, so the key must
+/// not distinguish them.
+[[nodiscard]] inline double normalize_angle(double a) {
+  return a == 0.0 ? 0.0 : a;
+}
+
+inline void append_block(std::string& out, const synth::RotationBlock& b) {
+  // The synthesizer contract (synthesize_sequence asserts it) pins the
+  // letter-form sign to +1, i.e. phase exponent == #Y mod 4 -- so the phase
+  // is derived, not serialized. Enforce rather than silently canonicalize:
+  // folding a sign flip into the key would alias two different operators.
+  FEMTO_EXPECTS(b.string.sign() == pauli::Complex(1.0, 0.0));
+  for (const std::uint64_t w : b.string.x().words()) append_u64(out, w);
+  for (const std::uint64_t w : b.string.z().words()) append_u64(out, w);
+  append_u64(out, b.target);
+  append_u64(out, std::bit_cast<std::uint64_t>(normalize_angle(b.angle_coeff)));
+  append_u64(out, static_cast<std::uint64_t>(static_cast<std::int64_t>(b.param)));
+}
+
+}  // namespace detail
+
+/// Block-sequence normal form: the database serving key. Equal keys <=>
+/// gate-for-gate identical synthesize_sequence output.
+[[nodiscard]] inline std::string canonical_key(
+    std::size_t n, const std::vector<synth::RotationBlock>& seq,
+    synth::MergePolicy policy, synth::EntanglerKind native) {
+  std::string key;
+  key.reserve(32 + seq.size() * (2 * ((n + 63) / 64) + 3) * 8);
+  detail::append_u64(key, n);
+  detail::append_u64(key, static_cast<std::uint64_t>(policy));
+  detail::append_u64(key, static_cast<std::uint64_t>(native));
+  detail::append_u64(key, seq.size());
+  for (const synth::RotationBlock& b : seq) {
+    FEMTO_EXPECTS(b.string.num_qubits() == n);
+    detail::append_block(key, b);
+  }
+  return key;
+}
+
+/// A canonical key decoded back into synthesis inputs.
+struct DecodedKey {
+  std::size_t n = 0;
+  synth::MergePolicy policy = synth::MergePolicy::kMerge;
+  synth::EntanglerKind native = synth::EntanglerKind::kCnot;
+  std::vector<synth::RotationBlock> seq;
+};
+
+/// Inverts canonical_key; nullopt on malformed bytes (wrong length, enum out
+/// of range). Phases are reconstructed canonically (#Y mod 4, sign +1).
+[[nodiscard]] inline std::optional<DecodedKey> decode_key(
+    std::string_view key) {
+  const auto* p = reinterpret_cast<const unsigned char*>(key.data());
+  if (key.size() < 32) return std::nullopt;
+  DecodedKey out;
+  out.n = static_cast<std::size_t>(detail::read_u64(p));
+  const std::uint64_t policy = detail::read_u64(p + 8);
+  const std::uint64_t native = detail::read_u64(p + 16);
+  const std::uint64_t blocks = detail::read_u64(p + 24);
+  if (policy > static_cast<std::uint64_t>(synth::MergePolicy::kMerge) ||
+      native > static_cast<std::uint64_t>(synth::EntanglerKind::kXX) ||
+      out.n == 0 || out.n > (std::size_t{1} << 20))
+    return std::nullopt;
+  out.policy = static_cast<synth::MergePolicy>(policy);
+  out.native = static_cast<synth::EntanglerKind>(native);
+  const std::size_t words = (out.n + 63) / 64;
+  const std::size_t block_bytes = (2 * words + 3) * 8;
+  if (key.size() != 32 + blocks * block_bytes) return std::nullopt;
+  out.seq.reserve(blocks);
+  std::size_t off = 32;
+  for (std::uint64_t k = 0; k < blocks; ++k) {
+    synth::RotationBlock b;
+    gf2::BitVec x(out.n), z(out.n);
+    for (std::size_t w = 0; w < words; ++w) {
+      const std::uint64_t xw = detail::read_u64(p + off + 8 * w);
+      const std::uint64_t zw = detail::read_u64(p + off + 8 * (words + w));
+      for (std::size_t bit = 0; bit < 64 && w * 64 + bit < out.n; ++bit) {
+        if ((xw >> bit) & 1) x.set(w * 64 + bit, true);
+        if ((zw >> bit) & 1) z.set(w * 64 + bit, true);
+      }
+    }
+    pauli::PauliString s(out.n);
+    s.set_symplectic(std::move(x), std::move(z));
+    s.set_phase_exponent(
+        static_cast<int>((s.x() & s.z()).popcount()) & 3);  // sign +1
+    b.string = std::move(s);
+    off += 16 * words;
+    b.target = static_cast<std::size_t>(detail::read_u64(p + off));
+    b.angle_coeff = std::bit_cast<double>(detail::read_u64(p + off + 8));
+    b.param = static_cast<int>(
+        static_cast<std::int64_t>(detail::read_u64(p + off + 16)));
+    off += 24;
+    if (b.target >= out.n) return std::nullopt;
+    out.seq.push_back(std::move(b));
+  }
+  return out;
+}
+
+/// Qubit relabeling that sorts the per-qubit (letter, is-target) column
+/// signatures: perm[old label] = canonical label. Invariant construction --
+/// the column of qubit q in a relabeled sequence equals the column of its
+/// preimage, so every relabeling of a sequence yields the same sorted
+/// columns and therefore the same canonical representative.
+[[nodiscard]] inline std::vector<std::size_t> canonical_relabeling(
+    std::size_t n, const std::vector<synth::RotationBlock>& seq) {
+  std::vector<std::string> column(n);
+  for (std::size_t q = 0; q < n; ++q) {
+    column[q].reserve(seq.size());
+    for (const synth::RotationBlock& b : seq)
+      column[q].push_back(static_cast<char>(
+          (static_cast<int>(b.string.letter(q)) << 1) |
+          (b.target == q ? 1 : 0)));
+  }
+  std::vector<std::size_t> order(n);
+  for (std::size_t q = 0; q < n; ++q) order[q] = q;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return column[a] < column[b];
+  });
+  std::vector<std::size_t> perm(n);
+  for (std::size_t rank = 0; rank < n; ++rank) perm[order[rank]] = rank;
+  return perm;
+}
+
+/// Applies a qubit relabeling to a block sequence (strings and targets).
+[[nodiscard]] inline std::vector<synth::RotationBlock> relabel_sequence(
+    const std::vector<synth::RotationBlock>& seq,
+    const std::vector<std::size_t>& perm) {
+  std::vector<synth::RotationBlock> out;
+  out.reserve(seq.size());
+  for (const synth::RotationBlock& b : seq) {
+    synth::RotationBlock r;
+    pauli::PauliString s(b.string.num_qubits());
+    for (std::size_t q = 0; q < b.string.num_qubits(); ++q)
+      s.set_letter(perm[q], b.string.letter(q));
+    // set_letter tracks the prefactor so the letter-form sign is preserved
+    // (+1 in, +1 out); #Y is permutation-invariant.
+    r.string = std::move(s);
+    r.target = perm[b.target];
+    r.angle_coeff = b.angle_coeff;
+    r.param = b.param;
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+/// Orbit canonical representative: the canonical_key of the sequence under
+/// its canonical relabeling. Invariant under any qubit relabeling of the
+/// input; used for grouping/statistics (femto-db info, the encoding miner),
+/// never for serving circuits.
+[[nodiscard]] inline std::string orbit_signature(
+    std::size_t n, const std::vector<synth::RotationBlock>& seq,
+    synth::MergePolicy policy, synth::EntanglerKind native) {
+  return canonical_key(n, relabel_sequence(seq, canonical_relabeling(n, seq)),
+                       policy, native);
+}
+
+}  // namespace femto::db

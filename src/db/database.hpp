@@ -1,0 +1,636 @@
+// On-disk, memory-mapped, versioned database of compilation artifacts.
+//
+// Precompute once, serve at memory speed: circuits synthesized by the
+// compile pipeline are stored keyed by their canonical block-sequence
+// normal form (db/canonical.hpp) so repeat and restart traffic -- and every
+// later process -- goes from O(compile) to O(hash). The file is opened
+// read-only and shared across threads and processes via mmap; lookups are
+// a binary search over a sorted (hash, key) index followed by a full key
+// compare (a hash collision must compare unequal rather than silently serve
+// the wrong circuit, mirroring synth/synthesis_cache.hpp).
+//
+// File layout (all integers little-endian):
+//
+//   [0,  8)  magic "FMDB01\0\0"
+//   [8, 12)  format version   (kFormatVersion; bump on any layout change)
+//   [12,16)  synthesis contract version (kSynthesisContract; bump whenever
+//            synthesize_sequence's emission changes, so stale artifacts are
+//            rejected instead of breaking the bit-identity guarantee)
+//   [16,20)  endianness tag 0x01020304
+//   [20,24)  section count
+//   [24,32)  entry count
+//   [32,40)  total file size (truncation check)
+//   [40,44)  CRC-32 of the header bytes (this field zeroed)
+//   [44,48)  reserved (0)
+//   then `section count` descriptors of 24 bytes each:
+//            {id u32, crc32 u32, offset u64, size u64}
+//
+// Sections (checksummed individually; verified eagerly on open):
+//   kIndex   sorted entries of 32 bytes:
+//            {key_hash u64, key_off u64, key_len u32, value_len u32,
+//             value_off u64}, ordered by (key_hash, key bytes)
+//   kKeys    canonical key blob (offsets relative to section start)
+//   kValues  serialized circuits (u32 width, u32 gate count, then per gate
+//            {kind u32, q0 u32, q1 u32, param u32, angle-bits u64})
+//   kOrbits  per-entry orbit-signature hashes (u64 each, index order) --
+//            relabeling-equivalence statistics for femto-db info and the
+//            encoding-space miner
+//
+// Every open failure is a *specific* diagnostic (zero-length file, truncated
+// header/file, bad magic, version mismatch, checksum mismatch, bounds
+// violation) -- never a crash and never a silently empty database.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <iterator>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#define FEMTO_DB_HAVE_MMAP 1
+#endif
+
+#include "db/canonical.hpp"
+#include "synth/synthesis_cache.hpp"
+
+namespace femto::db {
+
+inline constexpr std::uint32_t kFormatVersion = 1;
+inline constexpr std::uint32_t kSynthesisContract = 1;
+inline constexpr std::uint32_t kEndianTag = 0x01020304;
+inline constexpr char kMagic[8] = {'F', 'M', 'D', 'B', '0', '1', '\0', '\0'};
+
+enum class SectionId : std::uint32_t {
+  kIndex = 1,
+  kKeys = 2,
+  kValues = 3,
+  kOrbits = 4,
+};
+
+namespace detail {
+
+/// CRC-32 (IEEE 802.3, poly 0xEDB88320), table-driven.
+[[nodiscard]] inline std::uint32_t crc32(const unsigned char* data,
+                                         std::size_t size,
+                                         std::uint32_t seed = 0) {
+  static const std::vector<std::uint32_t> table = [] {
+    std::vector<std::uint32_t> t(256);
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = ~seed;
+  for (std::size_t i = 0; i < size; ++i)
+    crc = table[(crc ^ data[i]) & 0xff] ^ (crc >> 8);
+  return ~crc;
+}
+
+inline void append_u32(std::string& out, std::uint32_t v) {
+  for (int byte = 0; byte < 4; ++byte)
+    out.push_back(static_cast<char>((v >> (8 * byte)) & 0xff));
+}
+
+[[nodiscard]] inline std::uint32_t read_u32(const unsigned char* p) {
+  std::uint32_t v = 0;
+  for (int byte = 0; byte < 4; ++byte)
+    v |= static_cast<std::uint32_t>(p[byte]) << (8 * byte);
+  return v;
+}
+
+/// Serializes a circuit into the kValues entry format.
+[[nodiscard]] inline std::string encode_circuit(
+    const circuit::QuantumCircuit& c) {
+  std::string out;
+  out.reserve(8 + c.gates().size() * 24);
+  append_u32(out, static_cast<std::uint32_t>(c.num_qubits()));
+  append_u32(out, static_cast<std::uint32_t>(c.gates().size()));
+  for (const circuit::Gate& g : c.gates()) {
+    append_u32(out, static_cast<std::uint32_t>(g.kind));
+    append_u32(out, static_cast<std::uint32_t>(g.q0));
+    append_u32(out, static_cast<std::uint32_t>(g.q1));
+    append_u32(out, static_cast<std::uint32_t>(g.param));
+    db::detail::append_u64(out, std::bit_cast<std::uint64_t>(g.angle));
+  }
+  return out;
+}
+
+/// Inverts encode_circuit; nullopt on malformed bytes (defense in depth --
+/// sections are checksummed, so this only fires on a format bug).
+[[nodiscard]] inline std::optional<circuit::QuantumCircuit> decode_circuit(
+    const unsigned char* p, std::size_t size) {
+  if (size < 8) return std::nullopt;
+  const std::uint32_t n = read_u32(p);
+  const std::uint32_t count = read_u32(p + 4);
+  if (size != 8 + std::size_t{count} * 24) return std::nullopt;
+  circuit::QuantumCircuit c(n);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const unsigned char* g = p + 8 + std::size_t{i} * 24;
+    const std::uint32_t kind = read_u32(g);
+    if (kind > static_cast<std::uint32_t>(circuit::GateKind::kXYrot))
+      return std::nullopt;
+    circuit::Gate gate;
+    gate.kind = static_cast<circuit::GateKind>(kind);
+    gate.q0 = read_u32(g + 4);
+    gate.q1 = read_u32(g + 8);
+    gate.param = static_cast<int>(read_u32(g + 12));
+    gate.angle = std::bit_cast<double>(db::detail::read_u64(g + 16));
+    if (gate.q0 >= n || (gate.two_qubit() && gate.q1 >= n)) return std::nullopt;
+    c.append(gate);
+  }
+  return c;
+}
+
+/// Read-only view of the file bytes: mmap'd when available (shared across
+/// processes, pages faulted on demand), heap-buffered otherwise.
+struct Mapping {
+  const unsigned char* data = nullptr;
+  std::size_t size = 0;
+#if FEMTO_DB_HAVE_MMAP
+  void* mapped = nullptr;
+#endif
+  std::vector<unsigned char> buffer;  // fallback ownership
+
+  Mapping() = default;
+  Mapping(const Mapping&) = delete;
+  Mapping& operator=(const Mapping&) = delete;
+  ~Mapping() {
+#if FEMTO_DB_HAVE_MMAP
+    if (mapped != nullptr) ::munmap(mapped, size);
+#endif
+  }
+};
+
+[[nodiscard]] inline std::shared_ptr<Mapping> map_file(
+    const std::string& path, std::string* error) {
+  auto m = std::make_shared<Mapping>();
+#if FEMTO_DB_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    *error = "cannot open '" + path + "': " + std::strerror(errno);
+    return nullptr;
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    *error = "cannot stat '" + path + "': " + std::strerror(errno);
+    ::close(fd);
+    return nullptr;
+  }
+  m->size = static_cast<std::size_t>(st.st_size);
+  if (m->size == 0) {
+    *error = "zero-length file (not a femto-db database): '" + path + "'";
+    ::close(fd);
+    return nullptr;
+  }
+  void* p = ::mmap(nullptr, m->size, PROT_READ, MAP_SHARED, fd, 0);
+  ::close(fd);  // the mapping keeps the pages alive
+  if (p == MAP_FAILED) {
+    *error = "mmap failed for '" + path + "': " + std::strerror(errno);
+    return nullptr;
+  }
+  m->mapped = p;
+  m->data = static_cast<const unsigned char*>(p);
+#else
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    *error = "cannot open '" + path + "'";
+    return nullptr;
+  }
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  if (size <= 0) {
+    std::fclose(f);
+    if (size == 0) {
+      *error = "zero-length file (not a femto-db database): '" + path + "'";
+      return nullptr;
+    }
+    *error = "cannot read '" + path + "'";
+    return nullptr;
+  }
+  m->buffer.resize(static_cast<std::size_t>(size));
+  const std::size_t got = std::fread(m->buffer.data(), 1, m->buffer.size(), f);
+  std::fclose(f);
+  if (got != m->buffer.size()) {
+    *error = "short read on '" + path + "'";
+    return nullptr;
+  }
+  m->data = m->buffer.data();
+  m->size = m->buffer.size();
+#endif
+  return m;
+}
+
+struct Section {
+  std::uint32_t crc = 0;
+  std::uint64_t offset = 0;
+  std::uint64_t size = 0;
+};
+
+inline constexpr std::size_t kFixedHeaderBytes = 48;
+inline constexpr std::size_t kSectionDescBytes = 24;
+inline constexpr std::size_t kIndexEntryBytes = 32;
+
+}  // namespace detail
+
+/// One parsed index entry (offsets validated against their sections).
+struct IndexEntry {
+  std::uint64_t key_hash = 0;
+  std::uint64_t key_off = 0;
+  std::uint32_t key_len = 0;
+  std::uint32_t value_len = 0;
+  std::uint64_t value_off = 0;
+};
+
+/// Read-only, mmap-shared compilation database. Thread-safe: all state is
+/// immutable after open(), so any number of threads (and processes mapping
+/// the same file) may look up concurrently. Implements SynthesisStore, so it
+/// plugs straight into SynthesisCache as the L2 behind the in-memory memo.
+class Database final : public synth::SynthesisStore {
+ public:
+  /// Opens and fully validates a database file. Returns nullopt and a
+  /// specific diagnostic in *error on any defect; never aborts.
+  [[nodiscard]] static std::optional<Database> open(const std::string& path,
+                                                    std::string* error) {
+    std::string local_error;
+    std::string& err = error != nullptr ? *error : local_error;
+    const std::shared_ptr<detail::Mapping> map = detail::map_file(path, &err);
+    if (map == nullptr) return std::nullopt;
+    Database out;
+    out.map_ = map;
+    out.path_ = path;
+    if (!out.parse(&err)) return std::nullopt;
+    return out;
+  }
+
+  // -- SynthesisStore -------------------------------------------------------
+
+  [[nodiscard]] std::optional<circuit::QuantumCircuit> load(
+      std::size_t n, const std::vector<synth::RotationBlock>& seq,
+      synth::MergePolicy policy,
+      synth::EntanglerKind native) const override {
+    return lookup(canonical_key(n, seq, policy, native));
+  }
+
+  /// Read-only store: recording is femto-db's job (DatabaseBuilder).
+  void store(std::size_t, const std::vector<synth::RotationBlock>&,
+             synth::MergePolicy, synth::EntanglerKind,
+             const circuit::QuantumCircuit&) override {}
+
+  // -- lookups --------------------------------------------------------------
+
+  /// Binary search by key hash, full-key compare, circuit decode.
+  [[nodiscard]] std::optional<circuit::QuantumCircuit> lookup(
+      std::string_view key) const {
+    const std::uint64_t hash = fnv1a(key);
+    std::size_t lo = 0, hi = entries_.size();
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      if (entries_[mid].key_hash < hash)
+        lo = mid + 1;
+      else
+        hi = mid;
+    }
+    for (; lo < entries_.size() && entries_[lo].key_hash == hash; ++lo) {
+      if (this->key(lo) != key) continue;
+      return detail::decode_circuit(
+          map_->data + values_.offset + entries_[lo].value_off,
+          entries_[lo].value_len);
+    }
+    return std::nullopt;
+  }
+
+  [[nodiscard]] std::size_t entry_count() const { return entries_.size(); }
+
+  [[nodiscard]] std::string_view key(std::size_t i) const {
+    const IndexEntry& e = entries_[i];
+    return {reinterpret_cast<const char*>(map_->data + keys_.offset +
+                                          e.key_off),
+            e.key_len};
+  }
+
+  [[nodiscard]] std::optional<circuit::QuantumCircuit> circuit_at(
+      std::size_t i) const {
+    const IndexEntry& e = entries_[i];
+    return detail::decode_circuit(map_->data + values_.offset + e.value_off,
+                                  e.value_len);
+  }
+
+  [[nodiscard]] std::uint64_t orbit_hash(std::size_t i) const {
+    if (orbits_.size == 0) return 0;
+    return db::detail::read_u64(map_->data + orbits_.offset + 8 * i);
+  }
+
+  [[nodiscard]] std::uint32_t format_version() const { return format_version_; }
+  [[nodiscard]] std::uint32_t synthesis_contract() const {
+    return synthesis_contract_;
+  }
+  [[nodiscard]] std::size_t file_bytes() const { return map_->size; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  Database() = default;
+
+  [[nodiscard]] bool parse(std::string* error) {
+    const unsigned char* p = map_->data;
+    const std::size_t size = map_->size;
+    if (size < detail::kFixedHeaderBytes) {
+      *error = "truncated header: '" + path_ + "' has " +
+               std::to_string(size) + " bytes, a database header needs " +
+               std::to_string(detail::kFixedHeaderBytes);
+      return false;
+    }
+    if (std::memcmp(p, kMagic, sizeof(kMagic)) != 0) {
+      *error = "bad magic: '" + path_ + "' is not a femto-db database";
+      return false;
+    }
+    format_version_ = detail::read_u32(p + 8);
+    if (format_version_ != kFormatVersion) {
+      *error = "format version mismatch: '" + path_ + "' is v" +
+               std::to_string(format_version_) + ", this reader expects v" +
+               std::to_string(kFormatVersion) + " (rebuild with femto-db)";
+      return false;
+    }
+    synthesis_contract_ = detail::read_u32(p + 12);
+    if (synthesis_contract_ != kSynthesisContract) {
+      *error = "synthesis contract mismatch: '" + path_ +
+               "' holds artifacts of synthesis v" +
+               std::to_string(synthesis_contract_) + ", this build emits v" +
+               std::to_string(kSynthesisContract) +
+               " -- serving them would break bit-identity (rebuild with "
+               "femto-db)";
+      return false;
+    }
+    if (detail::read_u32(p + 16) != kEndianTag) {
+      *error = "endianness tag mismatch in '" + path_ +
+               "' (file written on an incompatible platform)";
+      return false;
+    }
+    const std::uint32_t section_count = detail::read_u32(p + 20);
+    const std::uint64_t entry_count = db::detail::read_u64(p + 24);
+    const std::uint64_t recorded_size = db::detail::read_u64(p + 32);
+    const std::uint32_t header_crc = detail::read_u32(p + 40);
+    if (section_count > 64) {
+      *error = "implausible section count " + std::to_string(section_count) +
+               " in '" + path_ + "' (corrupted header)";
+      return false;
+    }
+    const std::size_t header_end =
+        detail::kFixedHeaderBytes + section_count * detail::kSectionDescBytes;
+    if (size < header_end) {
+      *error = "truncated section table: '" + path_ + "' has " +
+               std::to_string(size) + " bytes, the header declares " +
+               std::to_string(header_end);
+      return false;
+    }
+    if (recorded_size != size) {
+      *error = "truncated file: header of '" + path_ + "' records " +
+               std::to_string(recorded_size) + " bytes but the file has " +
+               std::to_string(size);
+      return false;
+    }
+    {
+      std::vector<unsigned char> header(p, p + header_end);
+      header[40] = header[41] = header[42] = header[43] = 0;
+      const std::uint32_t crc = detail::crc32(header.data(), header.size());
+      if (crc != header_crc) {
+        *error = "header checksum mismatch in '" + path_ +
+                 "' (corrupted header)";
+        return false;
+      }
+    }
+    bool have_index = false, have_keys = false, have_values = false;
+    for (std::uint32_t s = 0; s < section_count; ++s) {
+      const unsigned char* d =
+          p + detail::kFixedHeaderBytes + s * detail::kSectionDescBytes;
+      const std::uint32_t id = detail::read_u32(d);
+      detail::Section sec;
+      sec.crc = detail::read_u32(d + 4);
+      sec.offset = db::detail::read_u64(d + 8);
+      sec.size = db::detail::read_u64(d + 16);
+      if (sec.offset > size || sec.size > size - sec.offset) {
+        *error = "section " + std::to_string(id) + " of '" + path_ +
+                 "' extends past the end of the file (corrupted header)";
+        return false;
+      }
+      const std::uint32_t crc = detail::crc32(p + sec.offset,
+                                              static_cast<std::size_t>(sec.size));
+      if (crc != sec.crc) {
+        *error = "section " + std::to_string(id) + " checksum mismatch in '" +
+                 path_ + "' (corrupted data)";
+        return false;
+      }
+      switch (static_cast<SectionId>(id)) {
+        case SectionId::kIndex: index_ = sec; have_index = true; break;
+        case SectionId::kKeys: keys_ = sec; have_keys = true; break;
+        case SectionId::kValues: values_ = sec; have_values = true; break;
+        case SectionId::kOrbits: orbits_ = sec; break;
+        default: break;  // unknown sections are ignored (forward compat)
+      }
+    }
+    if (!have_index || !have_keys || !have_values) {
+      *error = "missing required section(s) in '" + path_ +
+               "' (index/keys/values)";
+      return false;
+    }
+    if (index_.size != entry_count * detail::kIndexEntryBytes) {
+      *error = "index size inconsistent with entry count in '" + path_ + "'";
+      return false;
+    }
+    if (orbits_.size != 0 && orbits_.size != entry_count * 8) {
+      *error = "orbit section size inconsistent with entry count in '" +
+               path_ + "'";
+      return false;
+    }
+    entries_.reserve(static_cast<std::size_t>(entry_count));
+    std::uint64_t prev_hash = 0;
+    for (std::uint64_t i = 0; i < entry_count; ++i) {
+      const unsigned char* d =
+          p + index_.offset + i * detail::kIndexEntryBytes;
+      IndexEntry e;
+      e.key_hash = db::detail::read_u64(d);
+      e.key_off = db::detail::read_u64(d + 8);
+      e.key_len = detail::read_u32(d + 16);
+      e.value_len = detail::read_u32(d + 20);
+      e.value_off = db::detail::read_u64(d + 24);
+      if (e.key_off > keys_.size || e.key_len > keys_.size - e.key_off ||
+          e.value_off > values_.size ||
+          e.value_len > values_.size - e.value_off) {
+        *error = "index entry " + std::to_string(i) + " of '" + path_ +
+                 "' points outside its section (corrupted index)";
+        return false;
+      }
+      if (i > 0 && e.key_hash < prev_hash) {
+        *error = "index of '" + path_ + "' is not sorted (corrupted index)";
+        return false;
+      }
+      prev_hash = e.key_hash;
+      entries_.push_back(e);
+    }
+    return true;
+  }
+
+  std::shared_ptr<detail::Mapping> map_;
+  std::string path_;
+  std::uint32_t format_version_ = 0;
+  std::uint32_t synthesis_contract_ = 0;
+  detail::Section index_, keys_, values_, orbits_;
+  std::vector<IndexEntry> entries_;
+};
+
+/// Accumulates (canonical key -> circuit) pairs -- as a recording
+/// SynthesisStore attached to a SynthesisCache, from an existing database
+/// (append workflow), or via insert_raw -- and writes the versioned,
+/// checksummed file format. Thread-safe for concurrent store() calls.
+class DatabaseBuilder final : public synth::SynthesisStore {
+ public:
+  /// Recording side of SynthesisStore: canonicalizes and keeps the first
+  /// circuit per key (later duplicates are bit-identical by the purity
+  /// contract, so first-wins loses nothing).
+  void store(std::size_t n, const std::vector<synth::RotationBlock>& seq,
+             synth::MergePolicy policy, synth::EntanglerKind native,
+             const circuit::QuantumCircuit& circuit) override {
+    std::string key = canonical_key(n, seq, policy, native);
+    const std::uint64_t orbit = fnv1a(orbit_signature(n, seq, policy, native));
+    const std::lock_guard<std::mutex> lock(mutex_);
+    entries_.emplace(std::move(key),
+                     Value{detail::encode_circuit(circuit), orbit});
+  }
+
+  /// The builder never serves lookups: the in-memory SynthesisCache in front
+  /// of it already memoizes everything recorded this run.
+  [[nodiscard]] std::optional<circuit::QuantumCircuit> load(
+      std::size_t, const std::vector<synth::RotationBlock>&,
+      synth::MergePolicy, synth::EntanglerKind) const override {
+    return std::nullopt;
+  }
+
+  /// Pre-encoded entry (merge/append path). First insert per key wins.
+  void insert_raw(std::string key, std::string value_bytes,
+                  std::uint64_t orbit_hash) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    entries_.emplace(std::move(key),
+                     Value{std::move(value_bytes), orbit_hash});
+  }
+
+  /// Copies every entry of an open database (append workflow: merge the old
+  /// file, record new compiles, write). Existing keys keep their circuits.
+  void merge_from(const Database& db) {
+    for (std::size_t i = 0; i < db.entry_count(); ++i) {
+      const std::optional<circuit::QuantumCircuit> c = db.circuit_at(i);
+      FEMTO_EXPECTS(c.has_value());  // sections were checksum-verified
+      insert_raw(std::string(db.key(i)), detail::encode_circuit(*c),
+                 db.orbit_hash(i));
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+  }
+
+  /// Writes the database file; returns "" on success, else a diagnostic.
+  [[nodiscard]] std::string write(const std::string& path) const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    // Sorted (hash, key) index; std::map already orders keys, so a stable
+    // sort by hash preserves key order inside equal-hash runs.
+    std::vector<const std::pair<const std::string, Value>*> order;
+    order.reserve(entries_.size());
+    for (const auto& kv : entries_) order.push_back(&kv);
+    std::stable_sort(order.begin(), order.end(),
+                     [](const auto* a, const auto* b) {
+                       return fnv1a(a->first) < fnv1a(b->first);
+                     });
+
+    std::string index, keys, values, orbits;
+    for (const auto* kv : order) {
+      const std::string& key = kv->first;
+      const std::string& value = kv->second.bytes;
+      db::detail::append_u64(index, fnv1a(key));
+      db::detail::append_u64(index, keys.size());
+      detail::append_u32(index, static_cast<std::uint32_t>(key.size()));
+      detail::append_u32(index, static_cast<std::uint32_t>(value.size()));
+      db::detail::append_u64(index, values.size());
+      keys += key;
+      values += value;
+      db::detail::append_u64(orbits, kv->second.orbit_hash);
+    }
+
+    const std::pair<SectionId, const std::string*> sections[] = {
+        {SectionId::kIndex, &index},
+        {SectionId::kKeys, &keys},
+        {SectionId::kValues, &values},
+        {SectionId::kOrbits, &orbits},
+    };
+    const std::size_t header_end =
+        detail::kFixedHeaderBytes +
+        std::size(sections) * detail::kSectionDescBytes;
+
+    std::string header;
+    header.append(kMagic, sizeof(kMagic));
+    detail::append_u32(header, kFormatVersion);
+    detail::append_u32(header, kSynthesisContract);
+    detail::append_u32(header, kEndianTag);
+    detail::append_u32(header, static_cast<std::uint32_t>(std::size(sections)));
+    db::detail::append_u64(header, entries_.size());
+    std::uint64_t file_size = header_end;
+    for (const auto& [id, body] : sections) file_size += body->size();
+    db::detail::append_u64(header, file_size);
+    detail::append_u32(header, 0);  // header crc, patched below
+    detail::append_u32(header, 0);  // reserved
+    std::uint64_t offset = header_end;
+    for (const auto& [id, body] : sections) {
+      detail::append_u32(header, static_cast<std::uint32_t>(id));
+      detail::append_u32(
+          header,
+          detail::crc32(reinterpret_cast<const unsigned char*>(body->data()),
+                        body->size()));
+      db::detail::append_u64(header, offset);
+      db::detail::append_u64(header, body->size());
+      offset += body->size();
+    }
+    const std::uint32_t header_crc = detail::crc32(
+        reinterpret_cast<const unsigned char*>(header.data()), header.size());
+    for (int byte = 0; byte < 4; ++byte)
+      header[40 + byte] = static_cast<char>((header_crc >> (8 * byte)) & 0xff);
+
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) return "cannot write '" + path + "'";
+    bool ok = std::fwrite(header.data(), 1, header.size(), f) == header.size();
+    for (const auto& [id, body] : sections)
+      ok = ok &&
+           std::fwrite(body->data(), 1, body->size(), f) == body->size();
+    ok = std::fclose(f) == 0 && ok;
+    if (!ok) return "short write on '" + path + "'";
+    return "";
+  }
+
+ private:
+  struct Value {
+    std::string bytes;
+    std::uint64_t orbit_hash = 0;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Value> entries_;
+};
+
+}  // namespace femto::db

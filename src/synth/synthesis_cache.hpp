@@ -12,32 +12,106 @@
 // Keys are the full serialized sequence (symplectic words, phase, target,
 // angle bits, parameter index per block), not just a hash -- a collision
 // must compare unequal rather than silently return the wrong circuit.
+//
+// Two optional layers sit around the in-memory map:
+//  - an attached SynthesisStore (read-through L2 + write-behind recorder):
+//    the persistent compilation database (db/database.hpp) serves previously
+//    compiled segments across processes and restarts at memory speed, and a
+//    db::DatabaseBuilder captures fresh syntheses for the femto-db tool.
+//    Both sides memoize the same pure function, so results stay
+//    bit-identical with the store attached, detached, cold, or warm.
+//  - a Budget bounding the map (bytes and/or entries, 0 = unbounded) with
+//    insertion-order eviction: long batch runs no longer grow without limit.
+//    Eviction only ever discards memoized values of a pure function, so it
+//    cannot change any result either -- only hit rates.
 #pragma once
 
 #include <bit>
 #include <cstdint>
+#include <deque>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "synth/pauli_exponential.hpp"
 
 namespace femto::synth {
 
+/// Interface to a second-level synthesis store (persistent database,
+/// recording builder). Implementations must be safe for concurrent load()
+/// calls; store() calls may come from many threads and must synchronize
+/// internally. Both operate on the same pure function as the cache itself:
+/// load() may only return a circuit bit-identical to
+/// synthesize_sequence(n, seq, policy, native).
+class SynthesisStore {
+ public:
+  virtual ~SynthesisStore() = default;
+
+  /// Returns the stored circuit for the sequence, or nullopt when absent.
+  [[nodiscard]] virtual std::optional<circuit::QuantumCircuit> load(
+      std::size_t n, const std::vector<RotationBlock>& seq, MergePolicy policy,
+      EntanglerKind native) const = 0;
+
+  /// Records a freshly synthesized circuit (no-op for read-only stores).
+  virtual void store(std::size_t n, const std::vector<RotationBlock>& seq,
+                     MergePolicy policy, EntanglerKind native,
+                     const circuit::QuantumCircuit& circuit) = 0;
+};
+
 class SynthesisCache {
  public:
   struct Stats {
+    /// Served from the in-memory map. Includes lost first-comer races: when
+    /// a concurrent thread inserts the key while this one synthesizes, the
+    /// entry is already present at insert time, so the call counts as a hit
+    /// (the duplicated synthesis is the documented cost of computing outside
+    /// the lock) -- and `misses` stays equal to the number of unique keys
+    /// actually inserted by synthesis.
     std::size_t hits = 0;
+    /// Synthesized fresh AND inserted first. Counted from emplace().second,
+    /// so with no attached store and no evictions, misses == size() holds
+    /// under any thread interleaving.
     std::size_t misses = 0;
+    /// Served from the attached store (L2) and inserted into the map.
+    std::size_t l2_hits = 0;
+    /// Entries discarded to satisfy the budget.
+    std::size_t evictions = 0;
+    /// Approximate resident bytes of the map (keys + gate vectors +
+    /// per-entry overhead), maintained incrementally.
+    std::size_t approx_bytes = 0;
   };
+
+  /// Memory bound; 0 disables the respective limit. The byte figure is the
+  /// same approximation Stats.approx_bytes reports.
+  struct Budget {
+    std::size_t max_bytes = std::size_t{256} << 20;  // generous default
+    std::size_t max_entries = 0;
+  };
+
+  SynthesisCache() = default;
+  explicit SynthesisCache(Budget budget) : budget_(budget) {}
+
+  /// Attaches (or detaches, with nullptr) the second-level store. Not
+  /// thread-safe against concurrent synthesize() calls: attach before
+  /// handing the cache to a pool.
+  void set_store(SynthesisStore* store) { store_ = store; }
+
+  /// Replaces the budget and immediately evicts down to it.
+  void set_budget(Budget budget) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    budget_ = budget;
+    evict_over_budget();
+  }
 
   /// Memoized synthesize_sequence(n, seq, policy, native).
   [[nodiscard]] circuit::QuantumCircuit synthesize(
       std::size_t n, const std::vector<RotationBlock>& seq,
       MergePolicy policy = MergePolicy::kMerge,
       EntanglerKind native = EntanglerKind::kCnot) {
-    const std::string key = serialize(n, seq, policy, native);
+    std::string key = serialize(n, seq, policy, native);
     {
       const std::lock_guard<std::mutex> lock(mutex_);
       const auto it = entries_.find(key);
@@ -46,20 +120,28 @@ class SynthesisCache {
         return it->second;
       }
     }
-    // Synthesize outside the lock; concurrent first-comers may duplicate the
-    // work, but every computation of the same key yields the same circuit.
-    circuit::QuantumCircuit circuit = synthesize_sequence(n, seq, policy, native);
-    {
-      const std::lock_guard<std::mutex> lock(mutex_);
-      ++stats_.misses;
-      entries_.emplace(key, circuit);
+    // L2, then synthesis, both outside the lock; concurrent first-comers may
+    // duplicate the work, but every computation of the same key yields the
+    // same circuit (the store serves the same pure function).
+    if (store_ != nullptr) {
+      if (std::optional<circuit::QuantumCircuit> from_store =
+              store_->load(n, seq, policy, native))
+        return insert(std::move(key), std::move(*from_store), true);
     }
-    return circuit;
+    circuit::QuantumCircuit circuit = synthesize_sequence(n, seq, policy, native);
+    if (store_ != nullptr) store_->store(n, seq, policy, native, circuit);
+    return insert(std::move(key), std::move(circuit), false);
   }
 
   [[nodiscard]] Stats stats() const {
     const std::lock_guard<std::mutex> lock(mutex_);
     return stats_;
+  }
+
+  /// Approximate resident bytes (see Stats.approx_bytes).
+  [[nodiscard]] std::size_t approx_bytes() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return stats_.approx_bytes;
   }
 
   [[nodiscard]] std::size_t size() const {
@@ -70,10 +152,59 @@ class SynthesisCache {
   void clear() {
     const std::lock_guard<std::mutex> lock(mutex_);
     entries_.clear();
+    fifo_.clear();
     stats_ = {};
   }
 
  private:
+  /// Inserts the computed circuit, counting the outcome from the emplace
+  /// result: only the first-comer bumps misses / l2_hits; a lost race finds
+  /// the key already present and counts as a hit. The returned circuit is
+  /// copied out before eviction so a sub-entry-sized budget stays safe.
+  [[nodiscard]] circuit::QuantumCircuit insert(std::string key,
+                                               circuit::QuantumCircuit circuit,
+                                               bool from_store) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto [it, inserted] =
+        entries_.emplace(std::move(key), std::move(circuit));
+    if (!inserted) {
+      ++stats_.hits;
+      return it->second;
+    }
+    ++(from_store ? stats_.l2_hits : stats_.misses);
+    stats_.approx_bytes += entry_bytes(it->first, it->second);
+    fifo_.push_back(&it->first);  // node-stable key address
+    circuit::QuantumCircuit out = it->second;
+    evict_over_budget();
+    return out;
+  }
+
+  /// Evicts in insertion order until the budget holds (mutex_ held).
+  void evict_over_budget() {
+    const auto over = [this] {
+      return (budget_.max_bytes != 0 &&
+              stats_.approx_bytes > budget_.max_bytes) ||
+             (budget_.max_entries != 0 && entries_.size() > budget_.max_entries);
+    };
+    while (!fifo_.empty() && over()) {
+      const std::string* key = fifo_.front();
+      fifo_.pop_front();
+      const auto it = entries_.find(*key);
+      stats_.approx_bytes -= entry_bytes(it->first, it->second);
+      entries_.erase(it);
+      ++stats_.evictions;
+    }
+  }
+
+  [[nodiscard]] static std::size_t entry_bytes(
+      const std::string& key, const circuit::QuantumCircuit& circuit) {
+    // Map node + string + vector headers, rounded up; exactness is not
+    // required, only monotone accounting that matches on insert and evict.
+    constexpr std::size_t kOverhead = 128;
+    return kOverhead + key.size() +
+           circuit.gates().size() * sizeof(circuit::Gate);
+  }
+
   [[nodiscard]] static std::string serialize(
       std::size_t n, const std::vector<RotationBlock>& seq,
       MergePolicy policy, EntanglerKind native) {
@@ -101,6 +232,9 @@ class SynthesisCache {
 
   mutable std::mutex mutex_;
   std::unordered_map<std::string, circuit::QuantumCircuit> entries_;
+  std::deque<const std::string*> fifo_;  // insertion order, for eviction
+  Budget budget_;
+  SynthesisStore* store_ = nullptr;
   Stats stats_;
 };
 

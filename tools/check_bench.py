@@ -62,6 +62,10 @@ ABS_FLOORS = {
     # guaranteeing the incremental Gamma evaluation stays >= 3x over full
     # recompute and the dense GTSP GA >= 2x over the lazy solver.
     "compile_hot": {"gamma_eval_speedup": 3.0, "gtsp_ga_speedup": 2.0},
+    # Serving compiled segments from the mmap'd compilation database must
+    # stay at memory speed (binary search + circuit decode). The reference
+    # machine does >1M lookups/s; the floor leaves ~20x headroom.
+    "db": {"warm_lookups_per_s": 50000.0},
 }
 
 # suite -> {"section/metric" glob: pinned value}. The metric must equal the
@@ -72,6 +76,12 @@ ABS_FLOORS = {
 # so any drift here is a real behavior change, not noise.
 ABS_EXACT = {
     "targets": {"targets/H2O(14)/all_to_all_cnot/model_cnots": 108.0},
+    # The compilation database's bit-identity contract, end to end: a warm
+    # recompile against the prebuilt DB must reproduce the cold results
+    # field-for-field (warm_equals_cold) and verify-on-compile must certify
+    # every DB-served circuit (warm_verified). Any value but 1.0 means the
+    # database served a circuit that differs from fresh synthesis.
+    "db": {"*/warm_equals_cold": 1.0, "*/warm_verified": 1.0},
 }
 
 

@@ -1,0 +1,250 @@
+// femto-db: build, append, inspect, and verify persistent compilation
+// databases (src/db/database.hpp).
+//
+//   femto-db build <out.fdb> [--suite small|table1] [--append <old.fdb>]
+//                  [--workers N] [--restarts N]
+//       Compiles the suite with a recording DatabaseBuilder attached to the
+//       pipeline's synthesis cache and writes every synthesized segment,
+//       keyed canonically. --append first merges an existing database, so
+//       the rebuild workflow is: build --append old.fdb new.fdb && mv.
+//
+//   femto-db info <db.fdb>
+//       Header fields, entry count, byte sizes, and Gamma-orbit statistics
+//       (how many entries are relabelings of one another).
+//
+//   femto-db verify <db.fdb>
+//       Re-synthesizes EVERY entry from its decoded canonical key and
+//       compares gate-for-gate with the stored circuit -- the database's
+//       bit-identity contract, checked exhaustively. Exit 1 on any mismatch.
+//
+// Exit codes: 0 ok, 1 verification failure, 2 usage / IO / format error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_fixtures.hpp"
+#include "core/pipeline.hpp"
+#include "db/database.hpp"
+
+namespace {
+
+using namespace femto;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: femto-db build <out.fdb> [--suite small|table1] "
+               "[--append <old.fdb>] [--workers N] [--restarts N]\n"
+               "       femto-db info <db.fdb>\n"
+               "       femto-db verify <db.fdb>\n");
+  return 2;
+}
+
+/// The compile scenarios whose segments the database records: Table-1
+/// columns at the bench fixtures' solver budgets, with circuits emitted
+/// (counting-only compiles synthesize nothing worth persisting).
+std::vector<core::CompileScenario> make_suite(const std::string& suite) {
+  struct Entry {
+    std::string label;
+    chem::Molecule mol;
+    std::size_t ne;
+  };
+  std::vector<Entry> entries;
+  std::vector<std::string> columns;
+  if (suite == "small") {
+    entries = {{"HF", chem::make_hf(), 3},
+               {"LiH", chem::make_lih(), 3},
+               {"H2O(4)", chem::make_h2o(), 4},
+               {"H2O(5)", chem::make_h2o(), 5},
+               {"H2O(6)", chem::make_h2o(), 6}};
+    columns = {"Adv"};
+  } else if (suite == "table1") {
+    entries = {{"HF", chem::make_hf(), 3},
+               {"LiH", chem::make_lih(), 3},
+               {"BeH2", chem::make_beh2(), 9}};
+    for (std::size_t ne : {4, 5, 6, 8, 9, 11, 12, 14, 16, 17})
+      entries.push_back({"H2O(" + std::to_string(ne) + ")",
+                         chem::make_h2o(), ne});
+    columns = {"JW", "BK", "GT", "Adv"};
+  } else {
+    return {};
+  }
+  std::vector<core::CompileScenario> scenarios;
+  for (const Entry& e : entries) {
+    const bench::TermFixture f = bench::molecule_fixture(e.mol, e.ne);
+    for (const std::string& column : columns) {
+      core::CompileScenario s;
+      s.name = e.label + "/" + column;
+      s.num_qubits = f.n;
+      s.terms = f.terms;
+      s.options = bench::table1_column_options(column, f.terms.size());
+      s.options.emit_circuit = true;  // persist real artifacts, not counts
+      scenarios.push_back(std::move(s));
+    }
+  }
+  return scenarios;
+}
+
+int cmd_build(int argc, char** argv) {
+  std::string out_path, suite = "small", append_path;
+  std::size_t workers = 0, restarts = 1;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--suite") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      suite = v;
+    } else if (arg == "--append") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      append_path = v;
+    } else if (arg == "--workers") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      workers = static_cast<std::size_t>(std::atol(v));
+    } else if (arg == "--restarts") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      restarts = static_cast<std::size_t>(std::atol(v));
+    } else if (out_path.empty() && arg[0] != '-') {
+      out_path = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (out_path.empty() || restarts < 1) return usage();
+
+  db::DatabaseBuilder builder;
+  if (!append_path.empty()) {
+    std::string err;
+    const auto old = db::Database::open(append_path, &err);
+    if (!old.has_value()) {
+      std::fprintf(stderr, "femto-db: %s\n", err.c_str());
+      return 2;
+    }
+    builder.merge_from(*old);
+    std::printf("merged %zu entries from %s\n", old->entry_count(),
+                append_path.c_str());
+  }
+
+  const std::vector<core::CompileScenario> scenarios = make_suite(suite);
+  if (scenarios.empty()) {
+    std::fprintf(stderr, "femto-db: unknown suite '%s'\n", suite.c_str());
+    return usage();
+  }
+  core::PipelineOptions popt;
+  popt.workers = workers;
+  popt.restarts = restarts;
+  core::CompilePipeline pipeline(popt);
+  pipeline.set_store(&builder);
+  const auto results = restarts > 1
+                           ? [&] {
+                               std::vector<core::CompileResult> out;
+                               for (auto& m : pipeline.compile_batch_best(scenarios))
+                                 out.push_back(std::move(m.best));
+                               return out;
+                             }()
+                           : pipeline.compile_batch(scenarios);
+  for (std::size_t i = 0; i < scenarios.size(); ++i)
+    std::printf("  %-12s model CNOTs %d\n", scenarios[i].name.c_str(),
+                results[i].model_cnots);
+
+  if (const std::string err = builder.write(out_path); !err.empty()) {
+    std::fprintf(stderr, "femto-db: %s\n", err.c_str());
+    return 2;
+  }
+  const auto stats = pipeline.cache().stats();
+  std::printf(
+      "wrote %zu entries to %s (cache: %zu hits, %zu misses, ~%zu KiB)\n",
+      builder.size(), out_path.c_str(), stats.hits, stats.misses,
+      stats.approx_bytes / 1024);
+  return 0;
+}
+
+int cmd_info(const char* path) {
+  std::string err;
+  const auto database = db::Database::open(path, &err);
+  if (!database.has_value()) {
+    std::fprintf(stderr, "femto-db: %s\n", err.c_str());
+    return 2;
+  }
+  std::size_t gates = 0, key_bytes = 0;
+  std::map<std::uint64_t, std::size_t> orbits;
+  for (std::size_t i = 0; i < database->entry_count(); ++i) {
+    const auto c = database->circuit_at(i);
+    if (c.has_value()) gates += c->gates().size();
+    key_bytes += database->key(i).size();
+    ++orbits[database->orbit_hash(i)];
+  }
+  std::size_t largest_orbit = 0;
+  for (const auto& [hash, count] : orbits)
+    largest_orbit = std::max(largest_orbit, count);
+  std::printf("%s\n", path);
+  std::printf("  format version      %u\n", database->format_version());
+  std::printf("  synthesis contract  %u\n", database->synthesis_contract());
+  std::printf("  file bytes          %zu\n", database->file_bytes());
+  std::printf("  entries             %zu\n", database->entry_count());
+  std::printf("  key bytes           %zu\n", key_bytes);
+  std::printf("  stored gates        %zu\n", gates);
+  std::printf("  distinct orbits     %zu (largest %zu entries)\n",
+              orbits.size(), largest_orbit);
+  return 0;
+}
+
+int cmd_verify(const char* path) {
+  std::string err;
+  const auto database = db::Database::open(path, &err);
+  if (!database.has_value()) {
+    std::fprintf(stderr, "femto-db: %s\n", err.c_str());
+    return 2;
+  }
+  std::size_t failures = 0;
+  for (std::size_t i = 0; i < database->entry_count(); ++i) {
+    const auto decoded = db::decode_key(database->key(i));
+    if (!decoded.has_value()) {
+      std::fprintf(stderr, "entry %zu: canonical key does not decode\n", i);
+      ++failures;
+      continue;
+    }
+    const auto stored = database->circuit_at(i);
+    if (!stored.has_value()) {
+      std::fprintf(stderr, "entry %zu: stored circuit does not decode\n", i);
+      ++failures;
+      continue;
+    }
+    const circuit::QuantumCircuit fresh = synth::synthesize_sequence(
+        decoded->n, decoded->seq, decoded->policy, decoded->native);
+    if (fresh.gates() != stored->gates() ||
+        fresh.num_qubits() != stored->num_qubits()) {
+      std::fprintf(stderr,
+                   "entry %zu: stored circuit differs from fresh synthesis "
+                   "(%zu vs %zu gates)\n",
+                   i, stored->gates().size(), fresh.gates().size());
+      ++failures;
+    }
+  }
+  if (failures != 0) {
+    std::fprintf(stderr, "femto-db: %zu of %zu entries FAILED verification\n",
+                 failures, database->entry_count());
+    return 1;
+  }
+  std::printf("all %zu entries verified bit-identical to fresh synthesis\n",
+              database->entry_count());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string cmd = argv[1];
+  if (cmd == "build") return cmd_build(argc - 2, argv + 2);
+  if (cmd == "info") return cmd_info(argv[2]);
+  if (cmd == "verify") return cmd_verify(argv[2]);
+  return usage();
+}
