@@ -18,6 +18,7 @@
 #include "chem/molecules.hpp"
 #include "chem/scf.hpp"
 #include "core/compiler.hpp"
+#include "core/pipeline.hpp"
 #include "fermion/excitation.hpp"
 #include "vqe/uccsd.hpp"
 
@@ -108,6 +109,53 @@ inline core::CompileOptions table1_column_options(const std::string& column,
     opt.compression = core::CompressionMode::kHybrid;
   }
   return opt;
+}
+
+/// Named compile-scenario suites shared by femto-db, femtod's service
+/// bench, and the bench binaries: Table-1 columns at the bench fixtures'
+/// solver budgets, with circuits emitted (counting-only compiles
+/// synthesize nothing worth persisting or serving). Unknown suite -> empty.
+inline std::vector<core::CompileScenario> suite_scenarios(
+    const std::string& suite) {
+  struct Entry {
+    std::string label;
+    chem::Molecule mol;
+    std::size_t ne;
+  };
+  std::vector<Entry> entries;
+  std::vector<std::string> columns;
+  if (suite == "small") {
+    entries = {{"HF", chem::make_hf(), 3},
+               {"LiH", chem::make_lih(), 3},
+               {"H2O(4)", chem::make_h2o(), 4},
+               {"H2O(5)", chem::make_h2o(), 5},
+               {"H2O(6)", chem::make_h2o(), 6}};
+    columns = {"Adv"};
+  } else if (suite == "table1") {
+    entries = {{"HF", chem::make_hf(), 3},
+               {"LiH", chem::make_lih(), 3},
+               {"BeH2", chem::make_beh2(), 9}};
+    for (std::size_t ne : {4, 5, 6, 8, 9, 11, 12, 14, 16, 17})
+      entries.push_back(
+          {"H2O(" + std::to_string(ne) + ")", chem::make_h2o(), ne});
+    columns = {"JW", "BK", "GT", "Adv"};
+  } else {
+    return {};
+  }
+  std::vector<core::CompileScenario> scenarios;
+  for (const Entry& e : entries) {
+    const TermFixture f = molecule_fixture(e.mol, e.ne);
+    for (const std::string& column : columns) {
+      core::CompileScenario s;
+      s.name = e.label + "/" + column;
+      s.num_qubits = f.n;
+      s.terms = f.terms;
+      s.options = table1_column_options(column, f.terms.size());
+      s.options.emit_circuit = true;  // persist real artifacts, not counts
+      scenarios.push_back(std::move(s));
+    }
+  }
+  return scenarios;
 }
 
 }  // namespace femto::bench

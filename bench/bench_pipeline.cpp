@@ -56,7 +56,8 @@ int main() {
     core::MultiStartResult result;
     const double t = h.run(
         "pipeline/sa_sweep_r8_w" + std::to_string(workers), 3, [&] {
-          core::CompilePipeline pipeline({workers, kRestarts, true});
+          core::CompilePipeline pipeline(
+              {.workers = workers, .restarts = kRestarts});
           result = pipeline.compile_best(f.n, f.terms, sweep_options());
         });
     h.metric("best_cnots", result.best.model_cnots);
@@ -80,7 +81,7 @@ int main() {
   for (std::size_t restarts : {1u, 2u, 4u, 8u}) {
     core::MultiStartResult result;
     h.run("pipeline/restarts" + std::to_string(restarts), 3, [&] {
-      core::CompilePipeline pipeline({0, restarts, true});
+      core::CompilePipeline pipeline({.workers = 0, .restarts = restarts});
       result = pipeline.compile_best(f.n, f.terms, sweep_options());
     });
     h.metric("best_cnots", result.best.model_cnots);
@@ -114,7 +115,7 @@ int main() {
       batch_results.push_back(core::compile_vqe(s.num_qubits, s.terms, s.options));
   });
   const double t_pool = h.run("pipeline/batch6_pool", 3, [&] {
-    core::CompilePipeline pipeline({0, 1, true});
+    core::CompilePipeline pipeline({.workers = 0, .restarts = 1});
     batch_results = pipeline.compile_batch(scenarios);
   });
   h.metric("scaling_vs_seq", t_seq / t_pool);
@@ -128,7 +129,7 @@ int main() {
 
   // E7d: synthesis-cache effect across an 8-restart run.
   {
-    core::CompilePipeline pipeline({0, kRestarts, true});
+    core::CompilePipeline pipeline({.workers = 0, .restarts = kRestarts});
     const auto result = pipeline.compile_best(f.n, f.terms, sweep_options());
     const auto stats = pipeline.cache().stats();
     h.section("cache/restart8");

@@ -1,0 +1,369 @@
+// Service bench: boots a femtod daemon and drives concurrent compile load
+// through the wire protocol, measuring end-to-end serving throughput and
+// pinning the daemon determinism contract.
+//
+// By default the daemon is an in-process service::SocketServer (same code
+// femtod runs); `--daemon <path-to-femtod>` forks/execs the real binary
+// instead, which is what CI does so the shipped daemon is what gets gated.
+//
+// Gated metrics (tools/check_bench.py):
+//   serve_cold/plans_per_s              ABS_FLOOR -- scenario plans served
+//       per wall-clock second across 4 concurrent client connections
+//       against a cold daemon pipeline (protocol + scheduling overhead
+//       included).
+//   serve_cold/served_equals_inprocess  ABS_EXACT 1.0 -- every served
+//       response (circuits included) is byte-identical to the canonical
+//       encoding of the same seeded request compiled in-process.
+//   coalesce/coalesced_identical        ABS_EXACT 1.0 -- identical seeded
+//       requests submitted while the scheduler is busy collapse onto one
+//       execution and every waiter gets the same bytes as in-process.
+//   db_warm/db_warm_equals_inprocess    ABS_EXACT 1.0 -- a daemon serving
+//       from a prebuilt compilation database (.fdb) returns the same bytes
+//       as the cold in-process compile.
+//   deadline/deadline_enforced          ABS_EXACT 1.0 -- an impossible
+//       deadline terminates DEADLINE_EXCEEDED at a restart boundary
+//       instead of running to completion.
+//   shutdown/clean_shutdown             ABS_EXACT 1.0 -- the graceful
+//       shutdown handshake drains both daemons; an external femtod must
+//       exit 0.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <optional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "bench_fixtures.hpp"
+#include "bench_harness.hpp"
+#include "core/pipeline.hpp"
+#include "db/database.hpp"
+#include "service/client.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
+
+namespace {
+
+using namespace femto;
+
+constexpr std::uint64_t kSeed = 20230306;
+
+/// One daemon under test: either an external femtod child process or an
+/// in-process SocketServer running the identical serving stack.
+struct Daemon {
+  std::string socket_path;
+  pid_t pid = -1;
+  std::unique_ptr<service::SocketServer> server;
+  std::thread runner;
+};
+
+Daemon boot_daemon(const std::string& femtod, const std::string& socket_path,
+                   const std::string& db_path) {
+  Daemon d;
+  d.socket_path = socket_path;
+  if (!femtod.empty()) {
+    std::vector<std::string> argv = {femtod, "--socket", socket_path,
+                                     "--workers", "2"};
+    if (!db_path.empty()) {
+      argv.push_back("--db");
+      argv.push_back(db_path);
+    }
+    d.pid = service::spawn_process(argv);
+    if (d.pid < 0) {
+      std::fprintf(stderr, "bench_service: failed to spawn %s\n",
+                   femtod.c_str());
+      std::exit(1);
+    }
+  } else {
+    service::SocketServerOptions options;
+    options.socket_path = socket_path;
+    options.service.pipeline.workers = 2;
+    options.service.pipeline.restarts = 1;
+    if (!db_path.empty()) options.service.pipeline.database_path = db_path;
+    d.server = std::make_unique<service::SocketServer>(std::move(options));
+    if (const std::string err = d.server->start(); !err.empty()) {
+      std::fprintf(stderr, "bench_service: %s\n", err.c_str());
+      std::exit(1);
+    }
+    d.runner = std::thread([srv = d.server.get()] { srv->run(); });
+  }
+  return d;
+}
+
+/// Graceful shutdown handshake + reap. True iff the drain acked and (for an
+/// external daemon) the process exited 0.
+bool shutdown_daemon(Daemon& d) {
+  bool clean = false;
+  if (auto conn = service::wait_for_server(d.socket_path, 2000)) {
+    service::CompileClient client(std::move(*conn));
+    clean = client.shutdown(/*cancel_queued=*/false);
+  }
+  if (d.pid > 0) {
+    clean = service::wait_process(d.pid) == 0 && clean;
+    d.pid = -1;
+  } else if (d.runner.joinable()) {
+    d.runner.join();
+    d.server.reset();
+  }
+  ::unlink(d.socket_path.c_str());
+  return clean;
+}
+
+std::optional<service::CompileClient> make_client(
+    const std::string& socket_path) {
+  auto conn = service::wait_for_server(socket_path, 10000);
+  if (!conn.has_value()) return std::nullopt;
+  return service::CompileClient(std::move(*conn));
+}
+
+std::string canonical(const core::CompileResponse& response) {
+  return service::protocol::encode_response(
+             service::protocol::summarize(response, /*include_circuit=*/true))
+      .encode();
+}
+
+double stats_field(service::CompileClient& client, const char* key) {
+  const auto stats = client.stats();
+  if (!stats.has_value()) return -1.0;
+  const service::json::Value* v = stats->find(key);
+  return v != nullptr && v->is_number() ? v->as_double() : -1.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string femtod;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--daemon" && i + 1 < argc) {
+      femtod = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--daemon <path-to-femtod>]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  bench::Harness h("service");
+
+  // ---- reference: the same seeded requests compiled in-process ----------
+  h.section("reference");
+  const std::vector<core::CompileScenario> scenarios =
+      bench::suite_scenarios("small");
+  std::vector<core::CompileRequest> requests;
+  for (const core::CompileScenario& s : scenarios)
+    requests.push_back({.scenarios = {s},
+                        .restarts = 2,
+                        .seed = kSeed,
+                        .verify = true});
+  core::CompilePipeline reference_pipeline({.workers = 2});
+  std::vector<std::string> reference;
+  for (const core::CompileRequest& r : requests) {
+    const core::CompileResponse response = reference_pipeline.compile(r);
+    if (!response.done()) {
+      std::fprintf(stderr, "bench_service: reference compile failed: %s\n",
+                   response.detail.c_str());
+      return 1;
+    }
+    reference.push_back(canonical(response));
+  }
+  h.metric("info_requests", static_cast<double>(requests.size()));
+
+  const std::string socket_base =
+      "/tmp/femtod-bench-" + std::to_string(::getpid());
+  Daemon daemon = boot_daemon(femtod, socket_base + "-1.sock", "");
+
+  // ---- cold concurrent serving ------------------------------------------
+  h.section("serve_cold");
+  const std::size_t kClients = 4;
+  std::vector<double> latencies_ms(kClients * requests.size(), 0.0);
+  std::atomic<int> mismatches{0};
+  std::atomic<int> transport_errors{0};
+  const double elapsed_s = bench::time_once([&] {
+    std::vector<std::thread> clients;
+    for (std::size_t c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        auto client = make_client(daemon.socket_path);
+        if (!client.has_value()) {
+          transport_errors.fetch_add(1);
+          return;
+        }
+        for (std::size_t i = 0; i < requests.size(); ++i) {
+          // Stagger per client so identical requests overlap in flight --
+          // the daemon may coalesce them; the bytes must not change.
+          const std::size_t idx = (c + i) % requests.size();
+          std::string err;
+          const auto started = std::chrono::steady_clock::now();
+          const auto served = client->compile(
+              requests[idx], "c" + std::to_string(c) + "-" + std::to_string(i),
+              err, /*include_circuit=*/true);
+          latencies_ms[c * requests.size() + i] =
+              std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - started)
+                  .count();
+          if (!served.has_value()) {
+            std::fprintf(stderr, "bench_service: compile failed: %s\n",
+                         err.c_str());
+            transport_errors.fetch_add(1);
+          } else if (served->state != service::RequestState::kDone ||
+                     served->canonical_response != reference[idx]) {
+            mismatches.fetch_add(1);
+          }
+        }
+      });
+    }
+    for (std::thread& t : clients) t.join();
+  });
+  const double plans = static_cast<double>(kClients * requests.size());
+  h.metric("plans_per_s", elapsed_s > 0.0 ? plans / elapsed_s : 0.0);
+  h.metric("served_equals_inprocess",
+           mismatches.load() == 0 && transport_errors.load() == 0 ? 1.0 : 0.0);
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  h.metric("info_p50_ms", latencies_ms[latencies_ms.size() / 2]);
+  h.metric("info_p99_ms", latencies_ms[latencies_ms.size() * 99 / 100]);
+  h.metric("info_clients", static_cast<double>(kClients));
+
+  // ---- coalescing under a busy scheduler --------------------------------
+  h.section("coalesce");
+  bool coalesce_ok = false;
+  double coalesced_delta = -1.0;
+  {
+    auto stats_client = make_client(daemon.socket_path);
+    auto blocker_conn = service::wait_for_server(daemon.socket_path, 10000);
+    if (stats_client.has_value() && blocker_conn.has_value()) {
+      const double submitted_before = stats_field(*stats_client, "submitted");
+      const double coalesced_before = stats_field(*stats_client, "coalesced");
+      // Occupy the scheduler with a long, differently-seeded request...
+      core::CompileRequest blocker_request = requests[0];
+      blocker_request.restarts = 100000;
+      blocker_request.seed = 777;
+      blocker_request.verify = false;
+      service::json::Value msg = service::json::Value::object();
+      msg.set("op", service::json::Value::string("compile"));
+      msg.set("id", service::json::Value::string("blocker"));
+      msg.set("include_circuit", service::json::Value::boolean(false));
+      msg.set("request", service::protocol::encode_request(blocker_request));
+      bool ok = blocker_conn->send_line(msg.encode());
+      // ...then hammer it with identical seeded requests from 4 clients.
+      const std::size_t kHammers = 4;
+      std::vector<std::string> hammered(kHammers);
+      std::atomic<int> hammer_errors{0};
+      std::vector<std::thread> hammers;
+      for (std::size_t t = 0; t < kHammers; ++t) {
+        hammers.emplace_back([&, t] {
+          auto client = make_client(daemon.socket_path);
+          std::string err;
+          const auto served =
+              client.has_value()
+                  ? client->compile(requests[0], "h" + std::to_string(t), err,
+                                    /*include_circuit=*/true)
+                  : std::nullopt;
+          if (served.has_value())
+            hammered[t] = served->canonical_response;
+          else
+            hammer_errors.fetch_add(1);
+        });
+      }
+      // Release the blocker only once every hammer is in flight (they all
+      // sit behind it in the queue, so they must have coalesced by then).
+      const auto poll_deadline =
+          std::chrono::steady_clock::now() + std::chrono::seconds(30);
+      while (stats_field(*stats_client, "submitted") <
+                 submitted_before + 1.0 + static_cast<double>(kHammers) &&
+             std::chrono::steady_clock::now() < poll_deadline)
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      ok = blocker_conn->send_line(R"({"op":"cancel","id":"blocker"})") && ok;
+      const auto blocker_deadline =
+          std::chrono::steady_clock::now() + std::chrono::seconds(60);
+      bool blocker_done = false;
+      while (!blocker_done &&
+             std::chrono::steady_clock::now() < blocker_deadline) {
+        const auto line = blocker_conn->recv_line(1000);
+        if (!line.has_value()) continue;
+        const auto reply = service::json::parse(*line);
+        if (!reply.has_value() || !reply->is_object()) break;
+        const service::json::Value* op = reply->find("op");
+        blocker_done = op != nullptr && op->is_string() &&
+                       op->as_string() == "result";
+      }
+      for (std::thread& t : hammers) t.join();
+      coalesced_delta =
+          stats_field(*stats_client, "coalesced") - coalesced_before;
+      bool all_equal = hammer_errors.load() == 0;
+      for (const std::string& c : hammered) all_equal = all_equal && c == reference[0];
+      coalesce_ok = ok && blocker_done && all_equal &&
+                    coalesced_delta == static_cast<double>(kHammers - 1);
+    }
+  }
+  h.metric("coalesced_identical", coalesce_ok ? 1.0 : 0.0);
+  h.metric("info_coalesced_delta", coalesced_delta);
+
+  bool clean = shutdown_daemon(daemon);
+
+  // ---- serving from a prebuilt compilation database ---------------------
+  h.section("db_warm");
+  const std::string db_path = socket_base + ".fdb";
+  bool db_ok = false;
+  {
+    db::DatabaseBuilder builder;
+    core::CompilePipeline recorder({.workers = 2});
+    recorder.set_store(&builder);
+    bool recorded = true;
+    for (const core::CompileRequest& r : requests)
+      recorded = recorder.compile(r).done() && recorded;
+    const std::string err = builder.write(db_path);
+    if (!recorded || !err.empty()) {
+      std::fprintf(stderr, "bench_service: db build failed: %s\n",
+                   err.c_str());
+    } else {
+      Daemon warm = boot_daemon(femtod, socket_base + "-2.sock", db_path);
+      if (auto client = make_client(warm.socket_path)) {
+        db_ok = true;
+        for (std::size_t i = 0; i < requests.size(); ++i) {
+          std::string cerr;
+          const auto served =
+              client->compile(requests[i], "w" + std::to_string(i), cerr,
+                              /*include_circuit=*/true);
+          db_ok = db_ok && served.has_value() &&
+                  served->canonical_response == reference[i];
+        }
+      }
+
+      // ---- deadline enforcement (same warm daemon) ----------------------
+      core::CompileRequest doomed = requests[0];
+      doomed.restarts = 100000;
+      doomed.seed = 5;
+      doomed.verify = false;
+      doomed.deadline_s = 0.2;
+      bool deadline_ok = false;
+      double restarts_completed = -1.0;
+      if (auto client = make_client(warm.socket_path)) {
+        std::string derr;
+        const auto served = client->compile(doomed, "doomed", derr,
+                                            /*include_circuit=*/false);
+        if (served.has_value()) {
+          deadline_ok =
+              served->state == service::RequestState::kDeadlineExceeded;
+          if (!served->response.outcomes.empty())
+            restarts_completed = static_cast<double>(
+                served->response.outcomes[0].restarts_completed);
+        }
+      }
+      clean = shutdown_daemon(warm) && clean;
+      h.metric("db_warm_equals_inprocess", db_ok ? 1.0 : 0.0);
+      h.section("deadline");
+      h.metric("deadline_enforced", deadline_ok ? 1.0 : 0.0);
+      h.metric("info_restarts_completed", restarts_completed);
+    }
+    ::unlink(db_path.c_str());
+  }
+
+  // ---- graceful shutdown ------------------------------------------------
+  h.section("shutdown");
+  h.metric("clean_shutdown", clean ? 1.0 : 0.0);
+
+  return h.write_json() ? 0 : 1;
+}

@@ -38,16 +38,27 @@ int main() {
                 t.to_string().c_str(), to_string(t.classification()),
                 t.mp2_estimate);
 
-  // 3. Compile with the paper's advanced pipeline, 4 independent restarts
-  //    on the worker pool (restart 0 == the single-shot compile, so the
-  //    best plan can only improve), with in-flight verification: every
+  // 3. Compile with the paper's advanced pipeline through the unified
+  //    CompileRequest entry point: one scenario, 4 independent restarts on
+  //    the worker pool (restart 0 == the single-shot compile, so the best
+  //    plan can only improve), with in-flight verification: every
   //    restart's emitted circuit is certified against its compilation spec
   //    by symbolic Pauli propagation (no statevector, any qubit count)...
-  core::PipelineOptions pipe_options(/*workers=*/0, /*restarts=*/4);
-  pipe_options.verify = true;
-  core::CompilePipeline pipeline(pipe_options);
-  core::CompileOptions adv;  // defaults: hybrid + SA Gamma + GTSP GA
-  const auto multi = pipeline.compile_best(so.n, terms, adv);
+  core::CompilePipeline pipeline({.workers = 0});
+  core::CompileScenario scenario;
+  scenario.name = "LiH/advanced";
+  scenario.num_qubits = so.n;
+  scenario.terms = terms;  // options default: hybrid + SA Gamma + GTSP GA
+  const core::CompileResponse response = pipeline.compile({
+      .scenarios = {scenario},
+      .restarts = 4,
+      .verify = true,
+  });
+  if (!response.done()) {
+    std::printf("compile did not finish: %s\n", response.detail.c_str());
+    return 1;
+  }
+  const core::MultiStartResult& multi = response.outcomes[0].result;
   const auto& res_adv = multi.best;
   std::printf("\nrestart costs:");
   for (const auto& r : multi.restarts) std::printf(" %d", r.model_cnots);
@@ -86,21 +97,30 @@ int main() {
   std::printf("  ... (%zu gates total, depth %zu)\n", res_adv.circuit.size(),
               res_adv.circuit.depth());
 
-  // 4. Retarget the same ansatz to different hardware: the all-to-all CNOT
-  //    anchor (= the numbers above), a trapped-ion XX/MS-native device, and
-  //    a nearest-neighbor chain with SWAP routing. Each compile optimizes
-  //    the *device* cost and every lowered/routed circuit is certified
-  //    against its compilation spec.
-  const auto per_target = pipeline.compile_best_for_targets(
-      so.n, terms, adv,
-      {synth::HardwareTarget::all_to_all_cnot(),
-       synth::HardwareTarget::trapped_ion_xx(),
-       synth::HardwareTarget::linear_nn(so.n)});
+  // 4. Retarget the same ansatz to different hardware -- the same request
+  //    shape, now with an explicit target axis: the all-to-all CNOT anchor
+  //    (= the numbers above), a trapped-ion XX/MS-native device, and a
+  //    nearest-neighbor chain with SWAP routing. Each (scenario, target)
+  //    cell optimizes the *device* cost and every lowered/routed circuit
+  //    is certified against its compilation spec.
+  const core::CompileResponse targeted = pipeline.compile({
+      .scenarios = {scenario},
+      .targets = {synth::HardwareTarget::all_to_all_cnot(),
+                  synth::HardwareTarget::trapped_ion_xx(),
+                  synth::HardwareTarget::linear_nn(so.n)},
+      .restarts = 4,
+      .verify = true,
+  });
+  if (!targeted.done()) {
+    std::printf("compile did not finish: %s\n", targeted.detail.c_str());
+    return 1;
+  }
   std::printf("\nPer-target costs (model / device native entanglers):\n");
-  for (const auto& [target, result] : per_target) {
-    std::printf("  %-16s %3d / %3d   swaps=%d  %s\n", target.name.c_str(),
-                result.best.model_cost, result.best.device_cost,
-                result.best.routed_swaps,
+  for (const core::ScenarioOutcome& outcome : targeted.outcomes) {
+    const core::MultiStartResult& result = outcome.result;
+    std::printf("  %-16s %3d / %3d   swaps=%d  %s\n",
+                outcome.target.name.c_str(), result.best.model_cost,
+                result.best.device_cost, result.best.routed_swaps,
                 result.all_verified() ? "certified" : "NOT CERTIFIED");
     if (!result.all_verified()) return 1;
   }

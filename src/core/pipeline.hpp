@@ -1,19 +1,21 @@
-// Parallel multi-restart / batch compilation pipeline.
+// Parallel multi-restart / batch compilation pipeline behind ONE unified
+// entry point: CompilePipeline::compile(CompileRequest) -> CompileResponse.
 //
-// Wraps the staged single-shot compiler (core/compiler.hpp) in a job queue
-// on a std::thread worker pool (common/parallel.hpp):
+// A CompileRequest is the cross product (scenarios x targets x restarts)
+// plus the request-scoped controls a serving tier needs: an explicit master
+// seed, a wall-clock deadline, in-flight verification, and a cooperative
+// cancellation flag. The same struct is what the femtod daemon accepts over
+// its JSON-line protocol (service/protocol.hpp), so "compile in-process"
+// and "compile via the service" are literally the same request shape -- and
+// a seeded request returns a bit-identical plan either way.
 //
-//  - compile_best   N independent restarts of one compile, each on its own
-//                   Rng stream derived from the master seed (restart 0 runs
-//                   the master seed itself, so it reproduces the historical
-//                   single-shot call bit-for-bit and the multi-restart best
-//                   can never be worse). The winner is the lowest-cost plan
-//                   in the TARGET's figure of merit (model CNOTs on the
-//                   default target, device cost otherwise), ties broken
-//                   toward the lowest restart index.
-//  - compile_batch  many scenarios (molecule x transform x sorting mode) in
-//                   one call; results come back in input order.
-//  - compile_batch_best  the cross product: every scenario multi-restarted.
+// The historical entry points survive as thin documented adapters over
+// compile():
+//
+//  - compile_best             one scenario, PipelineOptions.restarts fan-out
+//  - compile_batch            many scenarios, one restart each
+//  - compile_batch_best       many scenarios, restarts fan-out each
+//  - compile_best_for_targets one scenario fanned out per hardware target
 //
 // Determinism contract: every job is a pure function of (scenario, derived
 // seed) and writes only its own output slot; winner selection is a pure
@@ -24,17 +26,23 @@
 // pure function, so it never changes results either (see
 // synth/synthesis_cache.hpp).
 //
+// Cancellation and deadlines are cooperative and checked at RESTART
+// boundaries: a restart job either runs to completion or is skipped before
+// it starts, never torn mid-flight. A request that completes every job
+// reports kDone and is bit-identical to an undeadlined run; a tripped
+// request reports kCancelled / kDeadlineExceeded with the per-restart
+// `completed` flags showing exactly what was reduced.
+//
 // The compile hot paths a job runs on are themselves exact rewrites under
-// the same contract: the incremental Gamma objective replays the SA RNG
-// stream of the full-recompute search (core/gamma_search.hpp), the dense
-// GTSP core replays the lazy solver's stream (opt/gtsp.hpp), and the
-// per-compile StringCostCache / per-Gamma cost memos cache pure functions.
-// All per-job caches and per-thread scratch buffers are confined to one
-// job's stack or thread, so the fan-out shares nothing mutable; restart
-// fan-outs inside one job (e.g. GTSP restarts) share only const
-// precomputed state built before the fan-out (opt/restart.hpp).
+// the same contract (see core/gamma_search.hpp, opt/gtsp.hpp). All per-job
+// caches and per-thread scratch buffers are confined to one job's stack or
+// thread, so the fan-out shares nothing mutable. A CompilePipeline serves
+// one compile() call at a time (the service layer serializes requests); the
+// shared cache underneath is fully thread-safe.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <optional>
@@ -66,13 +74,17 @@ struct RestartReport {
   /// the default target).
   int model_cost = 0;
   int device_cost = 0;
+  /// False when the restart job was skipped by cooperative cancellation or
+  /// a deadline; its cost fields are then meaningless and the restart took
+  /// no part in winner selection.
+  bool completed = true;
 };
 
 struct MultiStartResult {
   CompileResult best;
   std::size_t best_restart = 0;
   std::vector<RestartReport> restarts;  // indexed by restart
-  /// Per-restart verification verdicts (empty unless PipelineOptions.verify).
+  /// Per-restart verification verdicts (empty unless the request verified).
   std::vector<verify::EquivalenceReport> verification;
 
   /// True when verification ran and certified every restart's circuit.
@@ -89,14 +101,108 @@ struct TargetCompileResult {
   MultiStartResult result;
 };
 
+/// Terminal disposition of a CompileRequest. The service lifecycle
+/// (service/lifecycle.hpp) maps these onto its terminal request states.
+enum class RequestStatus {
+  kDone,              // every restart job ran; results are complete
+  kCancelled,         // cooperative cancel observed at a restart boundary
+  kDeadlineExceeded,  // wall-clock budget expired at a restart boundary
+  kRejected,          // request invalid (or refused by admission control)
+};
+
+[[nodiscard]] inline const char* to_string(RequestStatus s) {
+  switch (s) {
+    case RequestStatus::kDone: return "DONE";
+    case RequestStatus::kCancelled: return "CANCELLED";
+    case RequestStatus::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case RequestStatus::kRejected: return "REJECTED";
+  }
+  return "?";
+}
+
+/// THE unified compile request: what every entry point, tool, bench, and
+/// the femtod wire protocol share. Wire fields are serialized by
+/// service/protocol.hpp; the control-plane fields at the bottom are set by
+/// the serving layer only and never cross a process boundary.
+struct CompileRequest {
+  std::vector<CompileScenario> scenarios;
+  /// Optional hardware fan-out: when non-empty, every scenario is compiled
+  /// once per target (the target overrides the scenario's options.target).
+  /// Empty = each scenario compiles for its own options.target.
+  std::vector<synth::HardwareTarget> targets;
+  /// Independent restarts per (scenario, target); restart 0 runs the master
+  /// seed itself, so the multi-restart best can never be worse.
+  std::size_t restarts = 1;
+  /// When set, overrides every scenario's master seed: an explicit seed is
+  /// the request-level reproducibility handle (same seed = bit-identical
+  /// plan, in-process or daemon-served, cold or cache-warm).
+  std::optional<std::uint64_t> seed;
+  /// Wall-clock budget in seconds (0 = none), measured from the start of
+  /// compile() unless deadline_at overrides it. Checked cooperatively at
+  /// restart boundaries.
+  double deadline_s = 0.0;
+  /// Certify every restart's emitted circuit against its compilation spec
+  /// in-flight (verify/equivalence.hpp). Read-only on the results, so all
+  /// determinism guarantees are unchanged.
+  bool verify = false;
+
+  // --- control plane (set by the serving layer; never serialized) --------
+  /// Cooperative cancellation flag, polled at restart boundaries.
+  const std::atomic<bool>* cancel = nullptr;
+  /// Absolute deadline override; when set it wins over deadline_s so queue
+  /// wait counts against the budget.
+  std::optional<std::chrono::steady_clock::time_point> deadline_at;
+};
+
+/// Result of one (scenario, target) cell of a request.
+struct ScenarioOutcome {
+  std::string scenario;  // CompileScenario.name
+  synth::HardwareTarget target;
+  MultiStartResult result;
+  /// Restart jobs that actually ran (== request.restarts iff nothing was
+  /// skipped). 0 means `result` is empty.
+  std::size_t restarts_completed = 0;
+};
+
+struct CompileResponse {
+  RequestStatus status = RequestStatus::kDone;
+  std::string detail;  // diagnostic for non-kDone statuses
+  /// Scenario-major, then target: scenario i x target t at index i*T + t.
+  std::vector<ScenarioOutcome> outcomes;
+
+  [[nodiscard]] bool done() const { return status == RequestStatus::kDone; }
+};
+
+/// Diagnostic for an invalid request; empty string = valid. The service
+/// layer validates BEFORE queueing (a daemon must reject loudly, never
+/// abort), and compile() validates again on entry.
+[[nodiscard]] inline std::string validate_request(const CompileRequest& r) {
+  if (r.restarts < 1)
+    return "CompileRequest.restarts must be >= 1 (got " +
+           std::to_string(r.restarts) +
+           "); a compile needs at least the master-seed restart";
+  if (r.scenarios.empty())
+    return "CompileRequest.scenarios is empty: nothing to compile";
+  if (!(r.deadline_s >= 0.0))
+    return "CompileRequest.deadline_s must be >= 0 and finite";
+  const std::size_t T = r.targets.empty() ? 1 : r.targets.size();
+  for (const CompileScenario& s : r.scenarios) {
+    for (std::size_t t = 0; t < T; ++t) {
+      CompileOptions o = s.options;
+      if (!r.targets.empty()) o.target = r.targets[t];
+      if (const std::string err = validate_options(s.num_qubits, o);
+          !err.empty())
+        return "scenario '" + s.name + "': " + err;
+    }
+  }
+  return "";
+}
+
 struct PipelineOptions {
-  PipelineOptions() = default;
-  PipelineOptions(std::size_t workers_, std::size_t restarts_,
-                  bool share_synthesis_cache_ = true, bool verify_ = false)
-      : workers(workers_),
-        restarts(restarts_),
-        share_synthesis_cache(share_synthesis_cache_),
-        verify(verify_) {}
+  // NOTE: there is deliberately NO positional constructor. The historical
+  // (workers, restarts, bool, bool) form put share_synthesis_cache and
+  // verify side by side -- a silent-transposition bug waiting to happen.
+  // Use designated initializers or field assignment.
 
   /// Worker threads; 0 = hardware concurrency.
   std::size_t workers = 0;
@@ -104,13 +210,12 @@ struct PipelineOptions {
   std::size_t restarts = 1;
   /// Share one synthesis memo across all jobs of a call.
   bool share_synthesis_cache = true;
-  /// Certify every emitted circuit against its compilation spec in-flight
-  /// (verify/equivalence.hpp), parallelized on the same worker pool. Purely
-  /// read-only on the results, so all determinism guarantees are unchanged.
-  /// Non-default targets certify the LOWERED/routed circuit, so the routing
-  /// and native-gate passes are inside the verified boundary.
+  /// Default for the adapter entry points (compile_best & co.); a
+  /// CompileRequest carries its own verify flag. Non-default targets
+  /// certify the LOWERED/routed circuit, so the routing and native-gate
+  /// passes are inside the verified boundary.
   bool verify = false;
-  /// Checker knobs used when `verify` is on.
+  /// Checker knobs used when verification runs.
   verify::EquivalenceOptions verify_options;
   /// Path to a persistent compilation database (db/database.hpp), attached
   /// as a read-through L2 behind the shared in-memory memo. Empty = no
@@ -168,6 +273,7 @@ class CompilePipeline {
   [[nodiscard]] std::size_t worker_count() const {
     return pool_.worker_count();
   }
+  [[nodiscard]] const PipelineOptions& options() const { return options_; }
   [[nodiscard]] const synth::SynthesisCache& cache() const { return cache_; }
   /// Mutable cache access (budget changes, attaching a recording store).
   [[nodiscard]] synth::SynthesisCache& mutable_cache() { return cache_; }
@@ -181,100 +287,179 @@ class CompilePipeline {
   void set_store(synth::SynthesisStore* store) { cache_.set_store(store); }
   [[nodiscard]] ThreadPool& pool() { return pool_; }
 
-  /// Verification verdicts of the most recent compile_* call, in job order
-  /// (compile_batch: one per scenario; compile_best / compile_batch_best:
-  /// restarts-major, i.e. scenario i restart r at index i * restarts + r).
-  /// Empty unless PipelineOptions.verify is set.
+  /// Verification verdicts of the most recent compile, in job order
+  /// (scenario i x target t, restart r at index (i*T + t)*R + r). Empty
+  /// unless the request verified.
   [[nodiscard]] const std::vector<verify::EquivalenceReport>&
   last_verification() const {
     return last_verification_;
   }
 
-  /// N independent restarts of one compile; keeps the best-cost plan.
-  /// Restart r runs options.seed for r == 0 and a derived stream otherwise,
-  /// so the result can never cost more than single-shot compile_vqe(options)
-  /// and is bit-identical for any worker count.
-  [[nodiscard]] MultiStartResult compile_best(
-      std::size_t n, const std::vector<fermion::ExcitationTerm>& terms,
-      const CompileOptions& options) {
-    MultiStartResult out;
-    run_jobs(make_restart_jobs(n, terms, options), [&](std::vector<CompileResult> results) {
-      out = reduce_restarts(options.seed, options, std::move(results));
-    });
-    out.verification = last_verification_;
+  /// THE unified entry point: every (scenario, target) cell multi-restarted
+  /// on one job queue, reduced deterministically, optionally verified, with
+  /// cooperative cancel/deadline checks at restart boundaries. Invalid
+  /// requests return kRejected with a diagnostic -- compile() never aborts
+  /// on request content, so a serving daemon survives any wire input.
+  [[nodiscard]] CompileResponse compile(const CompileRequest& request) {
+    CompileResponse out;
+    if (std::string err = validate_request(request); !err.empty()) {
+      out.status = RequestStatus::kRejected;
+      out.detail = std::move(err);
+      last_verification_.clear();
+      return out;
+    }
+    const std::size_t S = request.scenarios.size();
+    const std::size_t T = request.targets.empty() ? 1 : request.targets.size();
+    const std::size_t R = request.restarts;
+
+    // Expand the (scenario x target) grid into per-cell base options, then
+    // fan each cell out into restart jobs on derived seed streams.
+    std::vector<CompileOptions> expanded(S * T);
+    std::vector<Job> jobs;
+    jobs.reserve(S * T * R);
+    for (std::size_t i = 0; i < S; ++i) {
+      const CompileScenario& s = request.scenarios[i];
+      for (std::size_t t = 0; t < T; ++t) {
+        CompileOptions base = s.options;
+        if (!request.targets.empty()) base.target = request.targets[t];
+        if (request.seed.has_value()) base.seed = *request.seed;
+        expanded[i * T + t] = base;
+        for (std::size_t r = 0; r < R; ++r) {
+          Job job{s.num_qubits, &s.terms, base};
+          job.options.seed = opt::restart_seed(base.seed, r);
+          jobs.push_back(std::move(job));
+        }
+      }
+    }
+
+    using clock = std::chrono::steady_clock;
+    clock::time_point deadline = clock::time_point::max();
+    if (request.deadline_at.has_value()) {
+      deadline = *request.deadline_at;
+    } else if (request.deadline_s > 0.0) {
+      deadline = clock::now() +
+                 std::chrono::duration_cast<clock::duration>(
+                     std::chrono::duration<double>(request.deadline_s));
+    }
+
+    std::vector<std::uint8_t> completed;
+    std::vector<CompileResult> results = run_jobs(
+        std::move(jobs), request.verify, request.cancel, deadline, completed);
+
+    out.outcomes.reserve(S * T);
+    std::size_t done_jobs = 0;
+    for (std::size_t cell = 0; cell < S * T; ++cell) {
+      ScenarioOutcome oc;
+      oc.scenario = request.scenarios[cell / T].name;
+      oc.target = expanded[cell].target;
+      std::vector<CompileResult> slice(
+          std::make_move_iterator(results.begin() +
+                                  static_cast<std::ptrdiff_t>(cell * R)),
+          std::make_move_iterator(results.begin() +
+                                  static_cast<std::ptrdiff_t>((cell + 1) * R)));
+      oc.result = reduce_restarts(expanded[cell].seed, expanded[cell],
+                                  std::move(slice), &completed[cell * R]);
+      for (std::size_t r = 0; r < R; ++r)
+        if (completed[cell * R + r]) ++oc.restarts_completed;
+      done_jobs += oc.restarts_completed;
+      if (!last_verification_.empty())
+        oc.result.verification.assign(
+            last_verification_.begin() +
+                static_cast<std::ptrdiff_t>(cell * R),
+            last_verification_.begin() +
+                static_cast<std::ptrdiff_t>((cell + 1) * R));
+      out.outcomes.push_back(std::move(oc));
+    }
+
+    const std::size_t total_jobs = S * T * R;
+    if (done_jobs == total_jobs) {
+      out.status = RequestStatus::kDone;
+    } else if (request.cancel != nullptr &&
+               request.cancel->load(std::memory_order_relaxed)) {
+      out.status = RequestStatus::kCancelled;
+      out.detail = "cancelled after " + std::to_string(done_jobs) + " of " +
+                   std::to_string(total_jobs) + " restart jobs";
+    } else {
+      out.status = RequestStatus::kDeadlineExceeded;
+      out.detail = "deadline exceeded after " + std::to_string(done_jobs) +
+                   " of " + std::to_string(total_jobs) + " restart jobs";
+    }
     return out;
   }
 
-  /// Batch-compiles scenarios; results[i] belongs to scenarios[i].
+  // --- historical entry points: thin adapters over compile() -------------
+
+  /// N = PipelineOptions.restarts independent restarts of one compile;
+  /// keeps the best-cost plan. Restart r runs options.seed for r == 0 and a
+  /// derived stream otherwise, so the result can never cost more than
+  /// single-shot compile_vqe(options) and is bit-identical for any worker
+  /// count. Adapter for compile() with one scenario.
+  [[nodiscard]] MultiStartResult compile_best(
+      std::size_t n, const std::vector<fermion::ExcitationTerm>& terms,
+      const CompileOptions& options) {
+    CompileRequest req;
+    req.scenarios.push_back({"", n, terms, options});
+    req.restarts = options_.restarts;
+    req.verify = options_.verify;
+    CompileResponse resp = compile(req);
+    expect_done(resp, "compile_best");
+    return std::move(resp.outcomes.front().result);
+  }
+
+  /// Batch-compiles scenarios once each (no restart fan-out); results[i]
+  /// belongs to scenarios[i]. Adapter for compile() with restarts = 1.
   [[nodiscard]] std::vector<CompileResult> compile_batch(
       const std::vector<CompileScenario>& scenarios) {
-    std::vector<Job> jobs;
-    jobs.reserve(scenarios.size());
-    for (const CompileScenario& s : scenarios)
-      jobs.push_back({s.num_qubits, &s.terms, s.options});
+    CompileRequest req;
+    req.scenarios = scenarios;
+    req.restarts = 1;
+    req.verify = options_.verify;
+    CompileResponse resp = compile(req);
+    expect_done(resp, "compile_batch");
     std::vector<CompileResult> results;
-    run_jobs(std::move(jobs),
-             [&](std::vector<CompileResult> r) { results = std::move(r); });
+    results.reserve(resp.outcomes.size());
+    for (ScenarioOutcome& oc : resp.outcomes)
+      results.push_back(std::move(oc.result.best));
     return results;
   }
 
   /// One multi-restart compile per hardware target (all restarts of all
   /// targets share one job queue on the pool). Results come back in target
-  /// order; with PipelineOptions.verify on, every restart's lowered/routed
-  /// circuit is certified against its compilation spec, so per-device
-  /// Table-1 comparisons carry equivalence certificates.
+  /// order. Adapter for compile() with a target fan-out.
   [[nodiscard]] std::vector<TargetCompileResult> compile_best_for_targets(
       std::size_t n, const std::vector<fermion::ExcitationTerm>& terms,
       const CompileOptions& base,
       const std::vector<synth::HardwareTarget>& targets) {
-    std::vector<CompileScenario> scenarios;
-    scenarios.reserve(targets.size());
-    for (const synth::HardwareTarget& t : targets) {
-      CompileScenario s;
-      s.name = t.name;
-      s.num_qubits = n;
-      s.terms = terms;
-      s.options = base;
-      s.options.target = t;
-      scenarios.push_back(std::move(s));
-    }
-    std::vector<MultiStartResult> multi = compile_batch_best(scenarios);
+    CompileRequest req;
+    req.scenarios.push_back({"", n, terms, base});
+    req.targets = targets;
+    req.restarts = options_.restarts;
+    req.verify = options_.verify;
+    CompileResponse resp = compile(req);
+    expect_done(resp, "compile_best_for_targets");
     std::vector<TargetCompileResult> out;
     out.reserve(targets.size());
-    for (std::size_t i = 0; i < targets.size(); ++i)
-      out.push_back({targets[i], std::move(multi[i])});
+    for (std::size_t t = 0; t < targets.size(); ++t)
+      out.push_back({targets[t], std::move(resp.outcomes[t].result)});
     return out;
   }
 
   /// Multi-restarts every scenario; results[i] belongs to scenarios[i]. All
   /// scenarios' restarts share one job queue, so wide batches keep every
-  /// worker busy even when individual scenarios are small.
+  /// worker busy even when individual scenarios are small. Adapter for
+  /// compile().
   [[nodiscard]] std::vector<MultiStartResult> compile_batch_best(
       const std::vector<CompileScenario>& scenarios) {
-    std::vector<Job> jobs;
-    jobs.reserve(scenarios.size() * options_.restarts);
-    for (const CompileScenario& s : scenarios) {
-      std::vector<Job> one = make_restart_jobs(s.num_qubits, s.terms, s.options);
-      for (Job& j : one) jobs.push_back(std::move(j));
-    }
-    std::vector<MultiStartResult> out(scenarios.size());
-    run_jobs(std::move(jobs), [&](std::vector<CompileResult> results) {
-      for (std::size_t i = 0; i < scenarios.size(); ++i) {
-        std::vector<CompileResult> slice(
-            std::make_move_iterator(results.begin() +
-                                    static_cast<std::ptrdiff_t>(i * options_.restarts)),
-            std::make_move_iterator(results.begin() +
-                                    static_cast<std::ptrdiff_t>((i + 1) * options_.restarts)));
-        out[i] = reduce_restarts(scenarios[i].options.seed,
-                                 scenarios[i].options, std::move(slice));
-        if (!last_verification_.empty())
-          out[i].verification.assign(
-              last_verification_.begin() +
-                  static_cast<std::ptrdiff_t>(i * options_.restarts),
-              last_verification_.begin() +
-                  static_cast<std::ptrdiff_t>((i + 1) * options_.restarts));
-      }
-    });
+    CompileRequest req;
+    req.scenarios = scenarios;
+    req.restarts = options_.restarts;
+    req.verify = options_.verify;
+    CompileResponse resp = compile(req);
+    expect_done(resp, "compile_batch_best");
+    std::vector<MultiStartResult> out;
+    out.reserve(resp.outcomes.size());
+    for (ScenarioOutcome& oc : resp.outcomes)
+      out.push_back(std::move(oc.result));
     return out;
   }
 
@@ -285,36 +470,46 @@ class CompilePipeline {
     CompileOptions options;
   };
 
-  [[nodiscard]] std::vector<Job> make_restart_jobs(
-      std::size_t n, const std::vector<fermion::ExcitationTerm>& terms,
-      const CompileOptions& base) {
-    std::vector<Job> jobs;
-    jobs.reserve(options_.restarts);
-    for (std::size_t r = 0; r < options_.restarts; ++r) {
-      Job job{n, &terms, base};
-      job.options.seed = opt::restart_seed(base.seed, r);
-      jobs.push_back(std::move(job));
-    }
-    return jobs;
+  /// The adapters promise complete results; anything else is a programming
+  /// error at the call site (the service layer, which handles partial
+  /// statuses, calls compile() directly).
+  static void expect_done(const CompileResponse& resp, const char* entry) {
+    if (resp.done()) return;
+    std::fprintf(stderr, "femto: %s failed: %s: %s\n", entry,
+                 to_string(resp.status), resp.detail.c_str());
+    FEMTO_EXPECTS(false && "compile request failed (diagnostic above)");
   }
 
   /// Runs all jobs on the pool (slot-indexed, so output order == input
-  /// order) and hands the complete result vector to `consume`. With
-  /// PipelineOptions.verify each job also certifies its emitted circuit
+  /// order). Each job checks the cancel flag and deadline BEFORE running --
+  /// the cooperative restart-boundary check -- and either runs to
+  /// completion (completed[i] = 1) or is skipped whole (completed[i] = 0).
+  /// With verify, each completed job also certifies its emitted circuit
   /// against the recorded spec before returning its slot.
-  template <typename Consume>
-  void run_jobs(std::vector<Job> jobs, Consume&& consume) {
+  [[nodiscard]] std::vector<CompileResult> run_jobs(
+      std::vector<Job> jobs, bool verify, const std::atomic<bool>* cancel,
+      std::chrono::steady_clock::time_point deadline,
+      std::vector<std::uint8_t>& completed) {
     std::vector<CompileResult> results(jobs.size());
+    completed.assign(jobs.size(), 1);
     last_verification_.clear();
-    if (options_.verify)
-      last_verification_.resize(jobs.size());
+    if (verify) last_verification_.resize(jobs.size());
     const verify::EquivalenceChecker checker(options_.verify_options);
     pool_.parallel_for(jobs.size(), [&](std::size_t i) {
+      if ((cancel != nullptr && cancel->load(std::memory_order_relaxed)) ||
+          std::chrono::steady_clock::now() > deadline) {
+        completed[i] = 0;
+        if (verify)
+          last_verification_[i].detail =
+              "not verified: restart job skipped (cancelled or deadline "
+              "exceeded)";
+        return;
+      }
       CompileOptions options = jobs[i].options;
       if (options_.share_synthesis_cache && options.emit_circuit)
         options.synthesis_cache = &cache_;
       results[i] = compile_vqe(jobs[i].num_qubits, *jobs[i].terms, options);
-      if (options_.verify) {
+      if (verify) {
         if (options.emit_circuit) {
           // Certify the final artifact: on non-default targets that is the
           // lowered/routed circuit, so the routing pass and native-gate
@@ -329,7 +524,7 @@ class CompilePipeline {
         }
       }
     });
-    consume(std::move(results));
+    return results;
   }
 
   /// The figure of merit a restart is ranked by: the historical model-CNOT
@@ -344,19 +539,25 @@ class CompilePipeline {
     return options.emit_circuit ? r.device_cost : r.model_cost;
   }
 
-  /// Deterministic winner selection: (ranking_cost, restart index).
-  [[nodiscard]] MultiStartResult reduce_restarts(
+  /// Deterministic winner selection over the COMPLETED restarts:
+  /// (ranking_cost, restart index). Skipped restarts keep their report slot
+  /// (completed = false) but never compete.
+  [[nodiscard]] static MultiStartResult reduce_restarts(
       std::uint64_t master_seed, const CompileOptions& options,
-      std::vector<CompileResult> results) {
+      std::vector<CompileResult> results, const std::uint8_t* completed) {
     MultiStartResult out;
     out.restarts.reserve(results.size());
     int best_cost = 0;
+    bool have_best = false;
     for (std::size_t r = 0; r < results.size(); ++r) {
+      const bool ok = completed == nullptr || completed[r] != 0;
       out.restarts.push_back({opt::restart_seed(master_seed, r),
                               results[r].model_cnots, results[r].model_cost,
-                              results[r].device_cost});
+                              results[r].device_cost, ok});
+      if (!ok) continue;
       const int cost = ranking_cost(results[r], options);
-      if (r == 0 || cost < best_cost) {
+      if (!have_best || cost < best_cost) {
+        have_best = true;
         best_cost = cost;
         out.best = std::move(results[r]);
         out.best_restart = r;

@@ -1,0 +1,306 @@
+// Client-side plumbing for the femtod socket protocol: a buffered
+// line-oriented AF_UNIX connection, a blocking CompileClient that speaks
+// the compile/result envelope, and the process helpers the smoke test and
+// service bench use to boot a daemon and wait for its socket.
+//
+// The client deliberately re-encodes the daemon's "response" object with
+// the same canonical json::Value encoder the server used, so
+// Served::canonical_response is byte-comparable against
+// protocol::encode_response(...).encode() of an in-process compile -- that
+// byte equality is the serving determinism contract CI pins.
+#pragma once
+
+#include <chrono>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "service/lifecycle.hpp"
+#include "service/protocol.hpp"
+
+namespace femto::service {
+
+/// A line-buffered client connection to a femtod socket.
+class ClientConnection {
+ public:
+  ClientConnection() = default;
+  ~ClientConnection() { close(); }
+  ClientConnection(const ClientConnection&) = delete;
+  ClientConnection& operator=(const ClientConnection&) = delete;
+  ClientConnection(ClientConnection&& other) noexcept
+      : fd_(std::exchange(other.fd_, -1)),
+        buffer_(std::move(other.buffer_)) {}
+  ClientConnection& operator=(ClientConnection&& other) noexcept {
+    if (this != &other) {
+      close();
+      fd_ = std::exchange(other.fd_, -1);
+      buffer_ = std::move(other.buffer_);
+    }
+    return *this;
+  }
+
+  /// Empty string on success, diagnostic otherwise.
+  [[nodiscard]] std::string connect(const std::string& socket_path) {
+    close();
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path))
+      return "socket path too long: " + socket_path;
+    std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) return std::string("socket(): ") + std::strerror(errno);
+    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      const std::string err = std::strerror(errno);
+      close();
+      return "connect(" + socket_path + "): " + err;
+    }
+    return "";
+  }
+
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+
+  void close() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+    buffer_.clear();
+  }
+
+  [[nodiscard]] bool send_line(const std::string& line) {
+    std::string out = line;
+    out += '\n';
+    std::size_t off = 0;
+    while (off < out.size()) {
+      const ssize_t n =
+          ::send(fd_, out.data() + off, out.size() - off, MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      off += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  /// Next newline-terminated line (without the newline); nullopt on EOF,
+  /// error, or timeout. timeout_ms < 0 blocks indefinitely.
+  [[nodiscard]] std::optional<std::string> recv_line(int timeout_ms = -1) {
+    const auto started = std::chrono::steady_clock::now();
+    for (;;) {
+      const std::size_t nl = buffer_.find('\n');
+      if (nl != std::string::npos) {
+        std::string line = buffer_.substr(0, nl);
+        buffer_.erase(0, nl + 1);
+        return line;
+      }
+      int wait_ms = -1;
+      if (timeout_ms >= 0) {
+        const auto elapsed =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now() - started)
+                .count();
+        wait_ms = timeout_ms - static_cast<int>(elapsed);
+        if (wait_ms < 0) return std::nullopt;
+      }
+      pollfd p{fd_, POLLIN, 0};
+      const int r = ::poll(&p, 1, wait_ms);
+      if (r <= 0) return std::nullopt;
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+      if (n <= 0) return std::nullopt;
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+/// Polls until the daemon's socket accepts a connection (the portable
+/// "server is up" signal). Returns the connected client or nullopt.
+[[nodiscard]] inline std::optional<ClientConnection> wait_for_server(
+    const std::string& socket_path, int timeout_ms = 10000) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    ClientConnection conn;
+    if (conn.connect(socket_path).empty()) return conn;
+    if (std::chrono::steady_clock::now() > deadline) return std::nullopt;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+/// fork+exec a child process (argv[0] is the binary path). Returns the pid
+/// or -1.
+[[nodiscard]] inline pid_t spawn_process(
+    const std::vector<std::string>& argv) {
+  const pid_t pid = ::fork();
+  if (pid != 0) return pid;
+  std::vector<char*> raw;
+  raw.reserve(argv.size() + 1);
+  for (const std::string& a : argv) raw.push_back(const_cast<char*>(a.c_str()));
+  raw.push_back(nullptr);
+  ::execv(raw[0], raw.data());
+  std::perror("execv");
+  ::_exit(127);
+}
+
+/// waitpid wrapper: the child's exit code, or -1 on abnormal termination.
+[[nodiscard]] inline int wait_process(pid_t pid) {
+  int status = 0;
+  if (::waitpid(pid, &status, 0) != pid) return -1;
+  if (!WIFEXITED(status)) return -1;
+  return WEXITSTATUS(status);
+}
+
+/// What one compile op came back as: the lifecycle terminal state, whether
+/// the daemon coalesced it, the decoded response, and the byte-exact
+/// canonical encoding of the response object (for bit-identity checks).
+struct Served {
+  RequestState state = RequestState::kRejected;
+  bool coalesced = false;
+  protocol::WireResponse response;
+  std::string canonical_response;
+};
+
+/// A blocking, single-request-at-a-time protocol client.
+class CompileClient {
+ public:
+  explicit CompileClient(ClientConnection conn) : conn_(std::move(conn)) {}
+
+  [[nodiscard]] ClientConnection& connection() { return conn_; }
+
+  [[nodiscard]] bool ping(int timeout_ms = 5000) {
+    if (!conn_.send_line(R"({"op":"ping"})")) return false;
+    const std::optional<std::string> line = conn_.recv_line(timeout_ms);
+    if (!line.has_value()) return false;
+    const std::optional<json::Value> msg = json::parse(*line);
+    if (!msg.has_value() || !msg->is_object()) return false;
+    const json::Value* ok = msg->find("ok");
+    return ok != nullptr && ok->is_bool() && ok->as_bool();
+  }
+
+  /// Raw stats object, or nullopt on transport/parse failure.
+  [[nodiscard]] std::optional<json::Value> stats(int timeout_ms = 5000) {
+    if (!conn_.send_line(R"({"op":"stats"})")) return std::nullopt;
+    const std::optional<std::string> line = conn_.recv_line(timeout_ms);
+    if (!line.has_value()) return std::nullopt;
+    std::optional<json::Value> msg = json::parse(*line);
+    if (!msg.has_value() || !msg->is_object()) return std::nullopt;
+    return msg;
+  }
+
+  /// Submits one compile and blocks for its result line. The ack and the
+  /// result are matched by id, in either order (an immediately-terminal
+  /// submission may put the result on the wire first). Error string in
+  /// `error` on failure.
+  [[nodiscard]] std::optional<Served> compile(
+      const core::CompileRequest& request, const std::string& id,
+      std::string& error, bool include_circuit = false,
+      int timeout_ms = 120000) {
+    json::Value msg = json::Value::object();
+    msg.set("op", json::Value::string("compile"));
+    msg.set("id", json::Value::string(id));
+    msg.set("include_circuit", json::Value::boolean(include_circuit));
+    msg.set("request", protocol::encode_request(request));
+    if (!conn_.send_line(msg.encode())) {
+      error = "send failed";
+      return std::nullopt;
+    }
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms);
+    // The ack and the result are written by different server threads, so
+    // they arrive in either order; both must be consumed before returning
+    // or the leftover line would corrupt the next op on this connection.
+    bool ack_seen = false;
+    std::optional<Served> result;
+    for (;;) {
+      if (ack_seen && result.has_value()) return result;
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - std::chrono::steady_clock::now());
+      if (left.count() <= 0) {
+        error = "timed out waiting for result of '" + id + "'";
+        return std::nullopt;
+      }
+      const std::optional<std::string> line =
+          conn_.recv_line(static_cast<int>(left.count()));
+      if (!line.has_value()) {
+        error = "connection closed waiting for result of '" + id + "'";
+        return std::nullopt;
+      }
+      const std::optional<json::Value> reply = json::parse(*line, &error);
+      if (!reply.has_value() || !reply->is_object()) {
+        error = "unparseable reply: " + *line;
+        return std::nullopt;
+      }
+      const json::Value* op = reply->find("op");
+      const json::Value* rid = reply->find("id");
+      const bool ours = rid != nullptr && rid->is_string() &&
+                        rid->as_string() == id;
+      if (op != nullptr && op->is_string() && op->as_string() == "compile") {
+        // The ack; a failed ack is the final word on this id.
+        const json::Value* ok = reply->find("ok");
+        if (ours && ok != nullptr && ok->is_bool() && !ok->as_bool()) {
+          const json::Value* why = reply->find("error");
+          error = why != nullptr && why->is_string() ? why->as_string()
+                                                     : "compile rejected";
+          return std::nullopt;
+        }
+        if (ours) ack_seen = true;
+        continue;
+      }
+      if (op == nullptr || !op->is_string() || op->as_string() != "result" ||
+          !ours)
+        continue;  // a reply for some other id on a shared connection
+      Served served;
+      const json::Value* state = reply->find("state");
+      if (state != nullptr && state->is_string()) {
+        const std::optional<RequestState> parsed_state =
+            parse_request_state(state->as_string());
+        if (parsed_state.has_value()) served.state = *parsed_state;
+      }
+      const json::Value* coal = reply->find("coalesced");
+      if (coal != nullptr && coal->is_bool())
+        served.coalesced = coal->as_bool();
+      const json::Value* resp = reply->find("response");
+      if (resp == nullptr) {
+        error = "result without 'response' field";
+        return std::nullopt;
+      }
+      served.canonical_response = resp->encode();
+      if (!protocol::decode_response(*resp, served.response, error))
+        return std::nullopt;
+      result = std::move(served);
+    }
+  }
+
+  /// Graceful (or cancelling) shutdown handshake.
+  [[nodiscard]] bool shutdown(bool cancel_queued = false,
+                              int timeout_ms = 5000) {
+    json::Value msg = json::Value::object();
+    msg.set("op", json::Value::string("shutdown"));
+    msg.set("mode",
+            json::Value::string(cancel_queued ? "cancel" : "graceful"));
+    if (!conn_.send_line(msg.encode())) return false;
+    const std::optional<std::string> line = conn_.recv_line(timeout_ms);
+    if (!line.has_value()) return false;
+    const std::optional<json::Value> reply = json::parse(*line);
+    if (!reply.has_value() || !reply->is_object()) return false;
+    const json::Value* ok = reply->find("ok");
+    return ok != nullptr && ok->is_bool() && ok->as_bool();
+  }
+
+ private:
+  ClientConnection conn_;
+};
+
+}  // namespace femto::service

@@ -1,0 +1,444 @@
+// Minimal deterministic JSON for the femtod wire protocol.
+//
+// Why not a third-party library: the protocol needs (a) zero new
+// dependencies, (b) CANONICAL encoding -- the coalescing key and the
+// served-equals-in-process CI pins compare encoded bytes, so the same value
+// must always encode to the same string -- and (c) a parser that survives
+// arbitrary hostile input, because a daemon must reject malformed requests
+// loudly instead of aborting.
+//
+// Canonical-encoding rules:
+//  * no whitespace; object members keep INSERTION order (every encoder in
+//    protocol.hpp builds objects in one fixed field order);
+//  * numbers round-trip losslessly: a parsed number keeps its raw token,
+//    and programmatic numbers are rendered with std::to_chars (shortest
+//    form for doubles, plain decimal for integers) -- so uint64 seeds
+//    survive bit-for-bit and re-encoding a parsed value is the identity;
+//  * strings escape the two mandatory characters and control bytes only.
+#pragma once
+
+#include <charconv>
+#include <cstdint>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace femto::service::json {
+
+class Value;
+using Member = std::pair<std::string, Value>;
+
+class Value {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Value() = default;  // null
+
+  [[nodiscard]] static Value boolean(bool b) {
+    Value v;
+    v.kind_ = Kind::kBool;
+    v.bool_ = b;
+    return v;
+  }
+  [[nodiscard]] static Value number(double d) {
+    char buf[32];
+    const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, d);
+    Value v;
+    v.kind_ = Kind::kNumber;
+    v.scalar_ = (ec == std::errc()) ? std::string(buf, end) : "0";
+    return v;
+  }
+  [[nodiscard]] static Value number(std::uint64_t u) {
+    Value v;
+    v.kind_ = Kind::kNumber;
+    v.scalar_ = std::to_string(u);
+    return v;
+  }
+  [[nodiscard]] static Value number(int i) {
+    Value v;
+    v.kind_ = Kind::kNumber;
+    v.scalar_ = std::to_string(i);
+    return v;
+  }
+  [[nodiscard]] static Value string(std::string s) {
+    Value v;
+    v.kind_ = Kind::kString;
+    v.scalar_ = std::move(s);
+    return v;
+  }
+  [[nodiscard]] static Value array() {
+    Value v;
+    v.kind_ = Kind::kArray;
+    return v;
+  }
+  [[nodiscard]] static Value object() {
+    Value v;
+    v.kind_ = Kind::kObject;
+    return v;
+  }
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const { return kind_ == Kind::kBool; }
+  [[nodiscard]] bool is_number() const { return kind_ == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const { return kind_ == Kind::kString; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::kObject; }
+
+  [[nodiscard]] bool as_bool() const { return is_bool() && bool_; }
+  [[nodiscard]] const std::string& as_string() const { return scalar_; }
+  [[nodiscard]] double as_double() const {
+    return is_number() ? std::strtod(scalar_.c_str(), nullptr) : 0.0;
+  }
+  /// Lossless unsigned read; nullopt when the token is not a plain
+  /// non-negative integer that fits (so 2^64-1 seeds survive, and "1.5"
+  /// or "-3" in an integer field is a decode error, not a truncation).
+  [[nodiscard]] std::optional<std::uint64_t> as_u64() const {
+    if (!is_number() || scalar_.empty()) return std::nullopt;
+    std::uint64_t out = 0;
+    const char* b = scalar_.data();
+    const char* e = b + scalar_.size();
+    const auto [p, ec] = std::from_chars(b, e, out);
+    if (ec != std::errc() || p != e) return std::nullopt;
+    return out;
+  }
+  [[nodiscard]] std::optional<int> as_int() const {
+    if (!is_number() || scalar_.empty()) return std::nullopt;
+    int out = 0;
+    const char* b = scalar_.data();
+    const char* e = b + scalar_.size();
+    const auto [p, ec] = std::from_chars(b, e, out);
+    if (ec != std::errc() || p != e) return std::nullopt;
+    return out;
+  }
+
+  // --- array ---------------------------------------------------------------
+  [[nodiscard]] const std::vector<Value>& items() const { return items_; }
+  Value& push(Value v) {
+    items_.push_back(std::move(v));
+    return items_.back();
+  }
+
+  // --- object (insertion-ordered) ------------------------------------------
+  [[nodiscard]] const std::vector<Member>& members() const { return members_; }
+  /// nullptr when absent.
+  [[nodiscard]] const Value* find(std::string_view key) const {
+    for (const Member& m : members_)
+      if (m.first == key) return &m.second;
+    return nullptr;
+  }
+  Value& set(std::string key, Value v) {
+    members_.emplace_back(std::move(key), std::move(v));
+    return members_.back().second;
+  }
+
+  // --- canonical encoding --------------------------------------------------
+  [[nodiscard]] std::string encode() const {
+    std::string out;
+    encode_to(out);
+    return out;
+  }
+
+  void encode_to(std::string& out) const {
+    switch (kind_) {
+      case Kind::kNull: out += "null"; return;
+      case Kind::kBool: out += bool_ ? "true" : "false"; return;
+      case Kind::kNumber: out += scalar_; return;
+      case Kind::kString: encode_string(scalar_, out); return;
+      case Kind::kArray: {
+        out += '[';
+        for (std::size_t i = 0; i < items_.size(); ++i) {
+          if (i) out += ',';
+          items_[i].encode_to(out);
+        }
+        out += ']';
+        return;
+      }
+      case Kind::kObject: {
+        out += '{';
+        for (std::size_t i = 0; i < members_.size(); ++i) {
+          if (i) out += ',';
+          encode_string(members_[i].first, out);
+          out += ':';
+          members_[i].second.encode_to(out);
+        }
+        out += '}';
+        return;
+      }
+    }
+  }
+
+  static void encode_string(std::string_view s, std::string& out) {
+    out += '"';
+    for (const char c : s) {
+      const auto u = static_cast<unsigned char>(c);
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (u < 0x20) {
+            constexpr char kHex[] = "0123456789abcdef";
+            out += "\\u00";
+            out += kHex[u >> 4];
+            out += kHex[u & 0xf];
+          } else {
+            out += c;
+          }
+      }
+    }
+    out += '"';
+  }
+
+ private:
+  friend class Parser;
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  std::string scalar_;  // number token or string payload
+  std::vector<Value> items_;
+  std::vector<Member> members_;
+};
+
+/// Strict recursive-descent parser: full-input consumption, bounded depth,
+/// never throws, never aborts -- malformed bytes come back as an error
+/// string so the daemon can reject the line and keep serving.
+class Parser {
+ public:
+  static constexpr int kMaxDepth = 64;
+
+  [[nodiscard]] static std::optional<Value> parse(std::string_view text,
+                                                  std::string* error) {
+    Parser p(text);
+    Value v;
+    if (!p.parse_value(v, 0)) {
+      if (error) *error = p.error_;
+      return std::nullopt;
+    }
+    p.skip_ws();
+    if (p.pos_ != p.text_.size()) {
+      if (error)
+        *error = "trailing bytes after JSON value at offset " +
+                 std::to_string(p.pos_);
+      return std::nullopt;
+    }
+    return v;
+  }
+
+ private:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  [[nodiscard]] bool fail(std::string msg) {
+    error_ = std::move(msg) + " at offset " + std::to_string(pos_);
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word)
+      return fail("invalid literal");
+    pos_ += word.size();
+    return true;
+  }
+
+  [[nodiscard]] bool parse_value(Value& out, int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case 'n': out = Value(); return literal("null");
+      case 't': out = Value::boolean(true); return literal("true");
+      case 'f': out = Value::boolean(false); return literal("false");
+      case '"': {
+        std::string s;
+        if (!parse_string(s)) return false;
+        out = Value::string(std::move(s));
+        return true;
+      }
+      case '[': {
+        ++pos_;
+        out = Value::array();
+        skip_ws();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+          ++pos_;
+          return true;
+        }
+        for (;;) {
+          Value item;
+          if (!parse_value(item, depth + 1)) return false;
+          out.push(std::move(item));
+          skip_ws();
+          if (pos_ >= text_.size()) return fail("unterminated array");
+          if (text_[pos_] == ',') {
+            ++pos_;
+            continue;
+          }
+          if (text_[pos_] == ']') {
+            ++pos_;
+            return true;
+          }
+          return fail("expected ',' or ']'");
+        }
+      }
+      case '{': {
+        ++pos_;
+        out = Value::object();
+        skip_ws();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+          ++pos_;
+          return true;
+        }
+        for (;;) {
+          skip_ws();
+          if (pos_ >= text_.size() || text_[pos_] != '"')
+            return fail("expected object key");
+          std::string key;
+          if (!parse_string(key)) return false;
+          skip_ws();
+          if (pos_ >= text_.size() || text_[pos_] != ':')
+            return fail("expected ':'");
+          ++pos_;
+          Value member;
+          if (!parse_value(member, depth + 1)) return false;
+          out.set(std::move(key), std::move(member));
+          skip_ws();
+          if (pos_ >= text_.size()) return fail("unterminated object");
+          if (text_[pos_] == ',') {
+            ++pos_;
+            continue;
+          }
+          if (text_[pos_] == '}') {
+            ++pos_;
+            return true;
+          }
+          return fail("expected ',' or '}'");
+        }
+      }
+      default: return parse_number(out);
+    }
+  }
+
+  [[nodiscard]] bool parse_number(Value& out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    if (pos_ >= text_.size() ||
+        !(text_[pos_] >= '0' && text_[pos_] <= '9'))
+      return fail("invalid number");
+    // JSON grammar: no leading zeros ("01" is two tokens, i.e. malformed);
+    // canonical tokens must have exactly one spelling per value.
+    if (text_[pos_] == '0' && pos_ + 1 < text_.size() &&
+        text_[pos_ + 1] >= '0' && text_[pos_ + 1] <= '9')
+      return fail("leading zero in number");
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9')
+      ++pos_;
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (pos_ >= text_.size() ||
+          !(text_[pos_] >= '0' && text_[pos_] <= '9'))
+        return fail("invalid number");
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9')
+        ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-'))
+        ++pos_;
+      if (pos_ >= text_.size() ||
+          !(text_[pos_] >= '0' && text_[pos_] <= '9'))
+        return fail("invalid number");
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9')
+        ++pos_;
+    }
+    Value v;
+    v.kind_ = Value::Kind::kNumber;
+    v.scalar_ = std::string(text_.substr(start, pos_ - start));
+    out = std::move(v);
+    return true;
+  }
+
+  [[nodiscard]] bool parse_string(std::string& out) {
+    ++pos_;  // opening quote
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20)
+        return fail("raw control byte in string");
+      if (c != '\\') {
+        out += c;
+        ++pos_;
+        continue;
+      }
+      if (pos_ + 1 >= text_.size()) return fail("dangling escape");
+      const char esc = text_[pos_ + 1];
+      pos_ += 2;
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned code = 0;
+          if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+          for (int k = 0; k < 4; ++k) {
+            const char h = text_[pos_ + static_cast<std::size_t>(k)];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            else
+              return fail("invalid \\u escape");
+          }
+          pos_ += 4;
+          // UTF-8 encode the BMP code point (surrogate pairs are not needed
+          // by this protocol; lone surrogates pass through as-is bytes).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xc0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+          } else {
+            out += static_cast<char>(0xe0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+          }
+          break;
+        }
+        default: return fail("invalid escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+[[nodiscard]] inline std::optional<Value> parse(std::string_view text,
+                                                std::string* error = nullptr) {
+  return Parser::parse(text, error);
+}
+
+}  // namespace femto::service::json

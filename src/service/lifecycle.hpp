@@ -1,0 +1,145 @@
+// Explicit request lifecycle for the compilation service.
+//
+//            +-----------------------------------------+
+//            |                                         v
+//   QUEUED --+--> ADMITTED --> RUNNING --> DONE     REJECTED
+//      |             |            |
+//      |             |            +------> CANCELLED
+//      |             +------------+------> DEADLINE_EXCEEDED
+//      +----------------------------------^   (either)
+//
+// The machine is a whitelist: transition_allowed() enumerates every legal
+// edge and EVERYTHING else is forbidden -- including self-transitions and
+// any move out of a terminal state. RequestLifecycle::advance() asserts on
+// a forbidden edge (a forbidden transition is a serving-logic bug, never a
+// client-input condition), while try_advance() reports it, which is what
+// the exhaustive 7x7 forbidden-transition test drives.
+//
+// Semantics of the edges:
+//  * QUEUED -> ADMITTED        scheduler picked the request up
+//  * QUEUED -> REJECTED        admission control refused it (invalid
+//                              request, full queue, draining server);
+//                              REJECTED is reachable from QUEUED ONLY --
+//                              once admitted, a request can no longer be
+//                              refused, it can only finish or be stopped
+//  * QUEUED/ADMITTED -> CANCELLED / DEADLINE_EXCEEDED
+//                              stopped before any work ran
+//  * ADMITTED -> RUNNING       handed to the pipeline
+//  * RUNNING -> DONE           every restart job completed
+//  * RUNNING -> CANCELLED      cooperative cancel observed at a restart
+//                              boundary (or the client detached mid-run)
+//  * RUNNING -> DEADLINE_EXCEEDED
+//                              wall-clock budget expired mid-request
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "common/assert.hpp"
+#include "core/pipeline.hpp"
+
+namespace femto::service {
+
+enum class RequestState {
+  kQueued = 0,
+  kAdmitted,
+  kRunning,
+  kDone,
+  kCancelled,
+  kDeadlineExceeded,
+  kRejected,
+};
+
+inline constexpr int kRequestStateCount = 7;
+
+[[nodiscard]] constexpr const char* to_string(RequestState s) {
+  switch (s) {
+    case RequestState::kQueued: return "QUEUED";
+    case RequestState::kAdmitted: return "ADMITTED";
+    case RequestState::kRunning: return "RUNNING";
+    case RequestState::kDone: return "DONE";
+    case RequestState::kCancelled: return "CANCELLED";
+    case RequestState::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case RequestState::kRejected: return "REJECTED";
+  }
+  return "?";
+}
+
+[[nodiscard]] inline std::optional<RequestState> parse_request_state(
+    std::string_view s) {
+  for (int i = 0; i < kRequestStateCount; ++i) {
+    const auto state = static_cast<RequestState>(i);
+    if (s == to_string(state)) return state;
+  }
+  return std::nullopt;
+}
+
+[[nodiscard]] constexpr bool is_terminal(RequestState s) {
+  return s == RequestState::kDone || s == RequestState::kCancelled ||
+         s == RequestState::kDeadlineExceeded || s == RequestState::kRejected;
+}
+
+/// The whole machine: every edge NOT listed here is forbidden.
+[[nodiscard]] constexpr bool transition_allowed(RequestState from,
+                                                RequestState to) {
+  switch (from) {
+    case RequestState::kQueued:
+      return to == RequestState::kAdmitted || to == RequestState::kRejected ||
+             to == RequestState::kCancelled ||
+             to == RequestState::kDeadlineExceeded;
+    case RequestState::kAdmitted:
+      return to == RequestState::kRunning ||
+             to == RequestState::kCancelled ||
+             to == RequestState::kDeadlineExceeded;
+    case RequestState::kRunning:
+      return to == RequestState::kDone || to == RequestState::kCancelled ||
+             to == RequestState::kDeadlineExceeded;
+    case RequestState::kDone:
+    case RequestState::kCancelled:
+    case RequestState::kDeadlineExceeded:
+    case RequestState::kRejected:
+      return false;  // terminal states absorb
+  }
+  return false;
+}
+
+/// The terminal state a pipeline disposition maps onto. kRejected from the
+/// pipeline is only reachable for requests that SKIPPED service admission
+/// (the service validates before queueing), so the scheduler asserts it
+/// never sees one.
+[[nodiscard]] constexpr RequestState to_state(core::RequestStatus s) {
+  switch (s) {
+    case core::RequestStatus::kDone: return RequestState::kDone;
+    case core::RequestStatus::kCancelled: return RequestState::kCancelled;
+    case core::RequestStatus::kDeadlineExceeded:
+      return RequestState::kDeadlineExceeded;
+    case core::RequestStatus::kRejected: return RequestState::kRejected;
+  }
+  return RequestState::kRejected;
+}
+
+/// One request's state, advancing only along whitelisted edges.
+class RequestLifecycle {
+ public:
+  [[nodiscard]] RequestState state() const { return state_; }
+  [[nodiscard]] bool terminal() const { return is_terminal(state_); }
+
+  /// False (and no change) on a forbidden edge.
+  [[nodiscard]] bool try_advance(RequestState to) {
+    if (!transition_allowed(state_, to)) return false;
+    state_ = to;
+    return true;
+  }
+
+  /// Asserting form for serving code: a forbidden edge is a logic bug.
+  void advance(RequestState to) {
+    FEMTO_EXPECTS(transition_allowed(state_, to) &&
+                  "forbidden request-lifecycle transition");
+    state_ = to;
+  }
+
+ private:
+  RequestState state_ = RequestState::kQueued;
+};
+
+}  // namespace femto::service

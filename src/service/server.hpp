@@ -1,0 +1,857 @@
+// The compilation service: a bounded admission queue + single scheduler
+// thread in front of one shared CompilePipeline, plus an AF_UNIX JSON-line
+// socket front end (SocketServer) -- the in-process core of the femtod
+// daemon.
+//
+// Design rules (the lifecycle discipline the tests enforce):
+//
+//  * Every client-visible request is a Ticket whose state only moves along
+//    the whitelisted edges of service/lifecycle.hpp. A forbidden edge is an
+//    assertion, not a recoverable condition.
+//  * Admission control happens BEFORE queueing: invalid requests, a full
+//    queue, and a draining server all reject loudly at QUEUED -> REJECTED
+//    with a diagnostic. Once admitted, a request can only finish or be
+//    stopped (cancel / deadline) -- REJECTED is unreachable past QUEUED.
+//  * One scheduler thread executes requests strictly serially on the
+//    pipeline; intra-request parallelism comes from the pipeline's own
+//    worker pool. Serial execution is what makes service results
+//    bit-identical to in-process compiles (the pipeline itself guarantees
+//    worker-count invariance) and makes drain quiescence deterministic.
+//  * Identical in-flight requests COALESCE: keyed by the canonical
+//    protocol encoding (deadline excluded), N tickets attach to one Work
+//    and receive the same shared response -- N clients asking for the same
+//    Hamiltonian pay for one compile. A coalesced request runs under the
+//    LEADER's deadline.
+//  * Cancellation is cooperative: cancelling a ticket detaches it
+//    immediately (synthesized CANCELLED response); when the LAST waiter of
+//    a running Work cancels, the Work's cancel flag trips and the pipeline
+//    observes it at the next restart boundary. A queued Work whose waiters
+//    all cancelled is dropped without running.
+//  * drain(): stop admission (new submits -> REJECTED), optionally cancel
+//    everything still queued, then block until the scheduler is idle. After
+//    drain the service is quiescent -- the destructor drains too, so tests
+//    can just scope a Service.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "core/pipeline.hpp"
+#include "service/lifecycle.hpp"
+#include "service/protocol.hpp"
+
+namespace femto::service {
+
+struct ServiceOptions {
+  core::PipelineOptions pipeline;
+  /// Admission bound: submits beyond this many queued works are REJECTED
+  /// loudly (the client can back off and retry; silent unbounded queues
+  /// turn overload into latency collapse).
+  std::size_t max_queue = 64;
+  /// Deadline applied to requests that carry none (0 = unlimited).
+  double default_deadline_s = 0.0;
+  /// Log admission rejections and lifecycle summaries to stderr.
+  bool log = false;
+};
+
+struct ServiceStats {
+  std::uint64_t submitted = 0;  // every submit() call, coalesced included
+  std::uint64_t coalesced = 0;  // submits attached to an in-flight work
+  std::uint64_t done = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t deadline_exceeded = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t works_run = 0;     // pipeline executions (post-coalescing)
+  std::uint64_t plans_served = 0;  // scenario outcomes delivered on DONE
+
+  /// Every submitted ticket ends in exactly one terminal state.
+  [[nodiscard]] std::uint64_t terminals() const {
+    return done + cancelled + deadline_exceeded + rejected;
+  }
+};
+
+class Ticket;
+
+/// One coalesced unit of execution: the leader's request plus every ticket
+/// waiting on it. Guarded by the Service mutex except `cancel`, which the
+/// pipeline polls lock-free at restart boundaries.
+struct Work {
+  core::CompileRequest request;
+  std::string key;
+  std::atomic<bool> cancel{false};
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
+  std::vector<std::shared_ptr<Ticket>> waiters;
+  std::size_t active = 0;  // waiters not yet individually cancelled
+  bool queued = false;
+  bool running = false;
+};
+
+/// A client's handle on one submitted request: its lifecycle state and,
+/// once terminal, the (possibly shared) response. Thread-safe; wait() is
+/// how synchronous clients block. Tickets must not outlive the Service.
+class Ticket {
+ public:
+  [[nodiscard]] std::uint64_t id() const { return id_; }
+  /// True when this submit attached to an already-in-flight identical
+  /// request instead of queueing its own work.
+  [[nodiscard]] bool coalesced() const { return coalesced_; }
+
+  [[nodiscard]] RequestState state() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return lifecycle_.state();
+  }
+  [[nodiscard]] bool terminal() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return lifecycle_.terminal();
+  }
+  /// Blocks until terminal; the response stays valid while the Ticket
+  /// lives (shared with coalesced siblings).
+  const core::CompileResponse& wait() {
+    std::unique_lock<std::mutex> g(mu_);
+    cv_.wait(g, [&] { return lifecycle_.terminal(); });
+    return *response_;
+  }
+  [[nodiscard]] std::shared_ptr<const core::CompileResponse> response()
+      const {
+    std::lock_guard<std::mutex> g(mu_);
+    return response_;
+  }
+
+ private:
+  friend class Service;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  RequestLifecycle lifecycle_;
+  std::shared_ptr<const core::CompileResponse> response_;
+  std::shared_ptr<Work> work_;  // cleared at terminal (breaks the cycle)
+  std::function<void(Ticket&)> on_terminal_;
+  std::uint64_t id_ = 0;
+  bool coalesced_ = false;
+};
+
+class Service {
+ public:
+  explicit Service(ServiceOptions options)
+      : options_(std::move(options)), pipeline_(options_.pipeline) {
+    scheduler_ = std::thread([this] { scheduler_loop(); });
+  }
+
+  ~Service() {
+    drain(/*cancel_queued=*/true);
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    scheduler_.join();
+  }
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Submits a request; returns its Ticket immediately. `on_terminal` (may
+  /// be empty) fires exactly once, off the service lock, when the ticket
+  /// reaches a terminal state -- including synchronously inside submit()
+  /// for rejections. The request's control-plane fields are overwritten by
+  /// the service (cancel flag, absolute deadline).
+  std::shared_ptr<Ticket> submit(
+      core::CompileRequest request,
+      std::function<void(Ticket&)> on_terminal = {}) {
+    auto ticket = std::make_shared<Ticket>();
+    ticket->on_terminal_ = std::move(on_terminal);
+    std::vector<std::shared_ptr<Ticket>> fire;
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      ticket->id_ = ++next_ticket_id_;
+      ++stats_.submitted;
+      if (draining_) {
+        reject(ticket, "service is draining: admission stopped", fire);
+      } else if (std::string err = core::validate_request(request);
+                 !err.empty()) {
+        reject(ticket, "invalid request: " + err, fire);
+      } else if (std::shared_ptr<Work> existing =
+                     find_inflight(protocol::coalesce_key(request));
+                 existing != nullptr) {
+        attach(ticket, existing);
+      } else if (queue_.size() >= options_.max_queue) {
+        reject(ticket,
+               "queue full: " + std::to_string(queue_.size()) + " of " +
+                   std::to_string(options_.max_queue) +
+                   " slots in use; back off and retry",
+               fire);
+      } else {
+        enqueue(ticket, std::move(request));
+      }
+    }
+    cv_.notify_one();
+    fire_callbacks(fire);
+    return ticket;
+  }
+
+  /// Convenience for synchronous callers: submit + wait.
+  core::CompileResponse compile_sync(core::CompileRequest request) {
+    return submit(std::move(request))->wait();
+  }
+
+  /// Cancels one ticket: it detaches immediately with a synthesized
+  /// CANCELLED response. When it was the last active waiter, the queued
+  /// work is dropped (deterministically, before it runs) or the running
+  /// work's cooperative cancel flag trips.
+  void cancel(const std::shared_ptr<Ticket>& ticket) {
+    std::vector<std::shared_ptr<Ticket>> fire;
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      std::shared_ptr<Work> work = ticket->work_;
+      auto response = std::make_shared<const core::CompileResponse>(
+          core::CompileResponse{core::RequestStatus::kCancelled,
+                                "cancelled by client",
+                                {}});
+      if (!terminalize(ticket, RequestState::kCancelled, response, fire))
+        return;  // already terminal
+      if (work == nullptr) return;
+      FEMTO_EXPECTS(work->active > 0);
+      --work->active;
+      if (work->active > 0) return;  // coalesced siblings still waiting
+      if (work->running) {
+        work->cancel.store(true, std::memory_order_relaxed);
+      } else if (work->queued) {
+        drop_queued(work);
+      }
+    }
+    fire_callbacks(fire);
+  }
+
+  /// Stops admission (submits reject from now on), optionally cancels all
+  /// still-queued works, then blocks until the scheduler is idle. After
+  /// drain() returns the service is quiescent and every ticket terminal.
+  void drain(bool cancel_queued) {
+    std::vector<std::shared_ptr<Ticket>> fire;
+    std::unique_lock<std::mutex> lock(mu_);
+    draining_ = true;
+    if (cancel_queued) {
+      auto response = std::make_shared<const core::CompileResponse>(
+          core::CompileResponse{core::RequestStatus::kCancelled,
+                                "cancelled: service drain",
+                                {}});
+      while (!queue_.empty()) {
+        std::shared_ptr<Work> work = queue_.front();
+        queue_.pop_front();
+        work->queued = false;
+        for (const std::shared_ptr<Ticket>& t : work->waiters)
+          (void)terminalize(t, RequestState::kCancelled, response, fire);
+        work->waiters.clear();
+        work->active = 0;
+        erase_inflight(work);
+      }
+    }
+    lock.unlock();
+    fire_callbacks(fire);
+    lock.lock();
+    idle_cv_.wait(lock, [&] { return queue_.empty() && !busy_; });
+  }
+
+  [[nodiscard]] bool draining() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return draining_;
+  }
+  [[nodiscard]] std::size_t queue_depth() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return queue_.size();
+  }
+  [[nodiscard]] ServiceStats stats() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return stats_;
+  }
+  /// The shared pipeline (one SynthesisCache + optional database L2 across
+  /// ALL requests -- the warm-cache serving advantage). Do not compile on
+  /// it concurrently with a live service; use submit().
+  [[nodiscard]] core::CompilePipeline& pipeline() { return pipeline_; }
+  [[nodiscard]] const ServiceOptions& options() const { return options_; }
+
+ private:
+  // --- submit-side helpers (service lock held) -----------------------------
+
+  void reject(const std::shared_ptr<Ticket>& ticket, std::string why,
+              std::vector<std::shared_ptr<Ticket>>& fire) {
+    if (options_.log)
+      std::fprintf(stderr, "femtod: REJECTED ticket %llu: %s\n",
+                   static_cast<unsigned long long>(ticket->id_),
+                   why.c_str());
+    auto response = std::make_shared<const core::CompileResponse>(
+        core::CompileResponse{core::RequestStatus::kRejected,
+                              std::move(why),
+                              {}});
+    (void)terminalize(ticket, RequestState::kRejected, response, fire);
+  }
+
+  [[nodiscard]] std::shared_ptr<Work> find_inflight(const std::string& key) {
+    const auto it = inflight_.find(key);
+    if (it == inflight_.end()) return nullptr;
+    // A running work whose waiters all cancelled may already have its
+    // cooperative cancel flag tripped; attaching would hand the new client
+    // a cancellation it never asked for. Let it queue its own work.
+    if (it->second->cancel.load(std::memory_order_relaxed)) return nullptr;
+    return it->second;
+  }
+
+  void attach(const std::shared_ptr<Ticket>& ticket,
+              const std::shared_ptr<Work>& work) {
+    ticket->coalesced_ = true;
+    ticket->work_ = work;
+    work->waiters.push_back(ticket);
+    ++work->active;
+    ++stats_.coalesced;
+    if (work->running) {
+      // Catch the lifecycle up to the work it joined.
+      std::lock_guard<std::mutex> g(ticket->mu_);
+      ticket->lifecycle_.advance(RequestState::kAdmitted);
+      ticket->lifecycle_.advance(RequestState::kRunning);
+    }
+  }
+
+  void enqueue(const std::shared_ptr<Ticket>& ticket,
+               core::CompileRequest request) {
+    auto work = std::make_shared<Work>();
+    const double budget = request.deadline_s > 0.0
+                              ? request.deadline_s
+                              : options_.default_deadline_s;
+    if (budget > 0.0)
+      work->deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(budget));
+    work->key = protocol::coalesce_key(request);
+    work->request = std::move(request);
+    // Absolute deadline: queue wait counts against the budget. The cancel
+    // flag lives in the Work, which outlives the pipeline run.
+    work->request.deadline_at = work->deadline;
+    work->request.cancel = &work->cancel;
+    work->waiters.push_back(ticket);
+    work->active = 1;
+    work->queued = true;
+    ticket->work_ = work;
+    inflight_[work->key] = work;
+    queue_.push_back(std::move(work));
+  }
+
+  void drop_queued(const std::shared_ptr<Work>& work) {
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (*it == work) {
+        queue_.erase(it);
+        break;
+      }
+    }
+    work->queued = false;
+    work->waiters.clear();
+    erase_inflight(work);
+  }
+
+  void erase_inflight(const std::shared_ptr<Work>& work) {
+    const auto it = inflight_.find(work->key);
+    if (it != inflight_.end() && it->second == work) inflight_.erase(it);
+  }
+
+  // --- lifecycle plumbing ---------------------------------------------------
+
+  /// Moves a ticket to a terminal state with its response; returns false if
+  /// it already was terminal. Caller holds the service lock; ticket locks
+  /// nest inside it. The callback is deferred into `fire` so it runs off
+  /// both locks.
+  bool terminalize(const std::shared_ptr<Ticket>& ticket, RequestState to,
+                   std::shared_ptr<const core::CompileResponse> response,
+                   std::vector<std::shared_ptr<Ticket>>& fire) {
+    {
+      std::lock_guard<std::mutex> g(ticket->mu_);
+      if (ticket->lifecycle_.terminal()) return false;
+      ticket->lifecycle_.advance(to);
+      ticket->response_ = std::move(response);
+      ticket->work_.reset();
+      ticket->cv_.notify_all();
+    }
+    switch (to) {
+      case RequestState::kDone:
+        ++stats_.done;
+        stats_.plans_served += ticket->response()->outcomes.size();
+        break;
+      case RequestState::kCancelled: ++stats_.cancelled; break;
+      case RequestState::kDeadlineExceeded: ++stats_.deadline_exceeded; break;
+      case RequestState::kRejected: ++stats_.rejected; break;
+      default: FEMTO_EXPECTS(false && "terminalize on non-terminal state");
+    }
+    if (ticket->on_terminal_) fire.push_back(ticket);
+    return true;
+  }
+
+  void advance_live_waiters(Work& work, RequestState to) {
+    for (const std::shared_ptr<Ticket>& t : work.waiters) {
+      std::lock_guard<std::mutex> g(t->mu_);
+      if (t->lifecycle_.terminal()) continue;  // individually cancelled
+      t->lifecycle_.advance(to);
+    }
+  }
+
+  static void fire_callbacks(
+      const std::vector<std::shared_ptr<Ticket>>& fire) {
+    for (const std::shared_ptr<Ticket>& t : fire) {
+      auto callback = std::move(t->on_terminal_);
+      t->on_terminal_ = nullptr;
+      callback(*t);
+    }
+  }
+
+  // --- the scheduler --------------------------------------------------------
+
+  void scheduler_loop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stop_) return;
+        continue;
+      }
+      std::shared_ptr<Work> work = queue_.front();
+      queue_.pop_front();
+      work->queued = false;
+      busy_ = true;
+      std::vector<std::shared_ptr<Ticket>> fire;
+      if (work->active == 0) {
+        // Every waiter cancelled while queued; nothing to run.
+        work->waiters.clear();
+        erase_inflight(work);
+      } else {
+        advance_live_waiters(*work, RequestState::kAdmitted);
+        if (std::chrono::steady_clock::now() > work->deadline) {
+          auto response = std::make_shared<const core::CompileResponse>(
+              core::CompileResponse{
+                  core::RequestStatus::kDeadlineExceeded,
+                  "deadline expired while queued (before any restart ran)",
+                  {}});
+          finish(work, RequestState::kDeadlineExceeded, response, fire);
+        } else {
+          advance_live_waiters(*work, RequestState::kRunning);
+          work->running = true;
+          lock.unlock();
+          core::CompileResponse result = pipeline_.compile(work->request);
+          lock.lock();
+          work->running = false;
+          // Service admission validated the request, so the pipeline can
+          // never reject it here; anything else is a serving-logic bug.
+          FEMTO_EXPECTS(result.status != core::RequestStatus::kRejected &&
+                        "validated request rejected by pipeline");
+          ++stats_.works_run;
+          const RequestState terminal = to_state(result.status);
+          auto response = std::make_shared<const core::CompileResponse>(
+              std::move(result));
+          finish(work, terminal, response, fire);
+        }
+      }
+      // Fire callbacks off the lock, but stay "busy" until they are done
+      // so drain() cannot return with a result write still in flight.
+      lock.unlock();
+      fire_callbacks(fire);
+      lock.lock();
+      busy_ = false;
+      idle_cv_.notify_all();
+    }
+  }
+
+  /// Completes a work: every still-live waiter gets the shared response in
+  /// the work's terminal state. (Service lock held.)
+  void finish(const std::shared_ptr<Work>& work, RequestState terminal,
+              const std::shared_ptr<const core::CompileResponse>& response,
+              std::vector<std::shared_ptr<Ticket>>& fire) {
+    erase_inflight(work);
+    for (const std::shared_ptr<Ticket>& t : work->waiters)
+      (void)terminalize(t, terminal, response, fire);
+    work->waiters.clear();
+    work->active = 0;
+    if (options_.log)
+      std::fprintf(stderr, "femtod: work %s -> %s\n",
+                   work->request.scenarios.empty()
+                       ? "?"
+                       : work->request.scenarios.front().name.c_str(),
+                   to_string(terminal));
+  }
+
+  ServiceOptions options_;
+  core::CompilePipeline pipeline_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;       // wakes the scheduler
+  std::condition_variable idle_cv_;  // wakes drain()
+  std::deque<std::shared_ptr<Work>> queue_;
+  std::unordered_map<std::string, std::shared_ptr<Work>> inflight_;
+  ServiceStats stats_;
+  std::uint64_t next_ticket_id_ = 0;
+  bool draining_ = false;
+  bool busy_ = false;
+  bool stop_ = false;
+  std::thread scheduler_;
+};
+
+// ---------------------------------------------------------------------------
+// AF_UNIX JSON-line socket front end.
+//
+// One line in, one or more lines out. Ops:
+//   {"op":"ping"}                          -> {"ok":true,"op":"ping",...}
+//   {"op":"stats"}                         -> {"ok":true,"op":"stats",...}
+//   {"op":"compile","id":"r1",
+//    "include_circuit":false,
+//    "request":{...protocol request...}}   -> ack {"ok":true,"op":"compile",
+//                                              "id":"r1","state":...}
+//                                          ...later one result line:
+//                                          {"op":"result","id":"r1",
+//                                           "state":"DONE","coalesced":b,
+//                                           "response":{...canonical...}}
+//   {"op":"cancel","id":"r1"}              -> {"ok":true,"op":"cancel",...}
+//   {"op":"shutdown","mode":"graceful"}    -> ack, then drain + exit run()
+//           ("cancel" drops queued work instead of finishing it)
+//
+// The "response" object is the CANONICAL protocol encoding -- byte-equal to
+// encoding the same compile done in-process -- while envelope metadata
+// (state, coalesced) stays outside it so bit-identity comparisons work.
+// Malformed lines get {"ok":false,"error":...} and the connection lives on.
+// A client disconnect cancels its outstanding tickets.
+// ---------------------------------------------------------------------------
+
+struct SocketServerOptions {
+  std::string socket_path;
+  ServiceOptions service;
+  bool log = false;
+};
+
+class SocketServer {
+ public:
+  explicit SocketServer(SocketServerOptions options)
+      : options_(std::move(options)), service_(options_.service) {}
+
+  ~SocketServer() { finish(/*cancel_queued=*/true); }
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// Binds + listens + starts the accept thread. Empty string on success,
+  /// diagnostic otherwise.
+  [[nodiscard]] std::string start() {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (options_.socket_path.empty() ||
+        options_.socket_path.size() >= sizeof(addr.sun_path))
+      return "socket path must be 1.." +
+             std::to_string(sizeof(addr.sun_path) - 1) + " bytes, got '" +
+             options_.socket_path + "'";
+    std::memcpy(addr.sun_path, options_.socket_path.c_str(),
+                options_.socket_path.size() + 1);
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) return std::string("socket(): ") + std::strerror(errno);
+    ::unlink(options_.socket_path.c_str());
+    if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      const std::string err = std::strerror(errno);
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return "bind(" + options_.socket_path + "): " + err;
+    }
+    if (::listen(listen_fd_, 64) != 0) {
+      const std::string err = std::strerror(errno);
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return std::string("listen(): ") + err;
+    }
+    accept_thread_ = std::thread([this] { accept_loop(); });
+    return "";
+  }
+
+  /// Blocks until a shutdown op arrives (or external_stop() turns true,
+  /// polled ~10x/s -- the signal-handler hook), then drains the service and
+  /// tears the socket down. Graceful by default: in-flight and queued work
+  /// finishes; the "cancel" mode drops queued work.
+  void run(const std::function<bool()>& external_stop = {}) {
+    {
+      std::unique_lock<std::mutex> lock(run_mu_);
+      while (!shutdown_requested_) {
+        run_cv_.wait_for(lock, std::chrono::milliseconds(100));
+        if (external_stop && external_stop()) shutdown_requested_ = true;
+      }
+    }
+    finish(cancel_queued_.load());
+  }
+
+  void request_shutdown(bool cancel_queued) {
+    cancel_queued_.store(cancel_queued);
+    {
+      std::lock_guard<std::mutex> g(run_mu_);
+      shutdown_requested_ = true;
+    }
+    run_cv_.notify_all();
+  }
+
+  [[nodiscard]] Service& service() { return service_; }
+  [[nodiscard]] const std::string& socket_path() const {
+    return options_.socket_path;
+  }
+
+ private:
+  struct Conn {
+    int fd = -1;
+    std::mutex write_mu;
+    std::mutex tickets_mu;
+    std::unordered_map<std::string, std::shared_ptr<Ticket>> tickets;
+  };
+
+  void finish(bool cancel_queued) {
+    {
+      std::lock_guard<std::mutex> g(finish_mu_);
+      if (finished_) return;
+      finished_ = true;
+    }
+    // Drain FIRST so in-flight results still reach their connections.
+    service_.drain(cancel_queued);
+    accept_stop_.store(true);
+    if (accept_thread_.joinable()) accept_thread_.join();
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      ::unlink(options_.socket_path.c_str());
+    }
+    std::vector<std::shared_ptr<Conn>> conns;
+    std::vector<std::thread> threads;
+    {
+      std::lock_guard<std::mutex> g(conns_mu_);
+      conns.swap(conns_);
+      threads.swap(conn_threads_);
+    }
+    for (const std::shared_ptr<Conn>& c : conns)
+      ::shutdown(c->fd, SHUT_RDWR);  // wakes blocked recv()s
+    for (std::thread& t : threads) t.join();
+  }
+
+  void accept_loop() {
+    while (!accept_stop_.load()) {
+      pollfd p{listen_fd_, POLLIN, 0};
+      const int r = ::poll(&p, 1, 200);
+      if (r <= 0) continue;
+      const int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd < 0) continue;
+      auto conn = std::make_shared<Conn>();
+      conn->fd = fd;
+      std::lock_guard<std::mutex> g(conns_mu_);
+      conns_.push_back(conn);
+      conn_threads_.emplace_back([this, conn] { serve(conn); });
+    }
+  }
+
+  void serve(const std::shared_ptr<Conn>& conn) {
+    std::string buffer;
+    char chunk[4096];
+    for (;;) {
+      const ssize_t n = ::recv(conn->fd, chunk, sizeof chunk, 0);
+      if (n <= 0) break;
+      buffer.append(chunk, static_cast<std::size_t>(n));
+      std::size_t start = 0;
+      for (;;) {
+        const std::size_t nl = buffer.find('\n', start);
+        if (nl == std::string::npos) break;
+        std::string line = buffer.substr(start, nl - start);
+        start = nl + 1;
+        if (!line.empty()) handle_line(conn, line);
+      }
+      buffer.erase(0, start);
+      if (buffer.size() > (1u << 22))
+        break;  // 4 MiB without a newline: hostile input, hang up
+    }
+    // Disconnect = the client walked away: cancel what it was waiting on.
+    std::vector<std::shared_ptr<Ticket>> orphans;
+    {
+      std::lock_guard<std::mutex> g(conn->tickets_mu);
+      for (auto& [id, t] : conn->tickets) orphans.push_back(t);
+      conn->tickets.clear();
+    }
+    for (const std::shared_ptr<Ticket>& t : orphans)
+      if (!t->terminal()) service_.cancel(t);
+    ::close(conn->fd);
+  }
+
+  void write_line(const std::shared_ptr<Conn>& conn, std::string line) {
+    line += '\n';
+    std::lock_guard<std::mutex> g(conn->write_mu);
+    std::size_t off = 0;
+    while (off < line.size()) {
+      const ssize_t n = ::send(conn->fd, line.data() + off,
+                               line.size() - off, MSG_NOSIGNAL);
+      if (n <= 0) return;  // peer gone; the disconnect path cleans up
+      off += static_cast<std::size_t>(n);
+    }
+  }
+
+  void write_error(const std::shared_ptr<Conn>& conn, const std::string& op,
+                   const std::string& id, const std::string& why) {
+    json::Value v = json::Value::object();
+    v.set("ok", json::Value::boolean(false));
+    if (!op.empty()) v.set("op", json::Value::string(op));
+    if (!id.empty()) v.set("id", json::Value::string(id));
+    v.set("error", json::Value::string(why));
+    write_line(conn, v.encode());
+  }
+
+  void handle_line(const std::shared_ptr<Conn>& conn,
+                   const std::string& line) {
+    std::string err;
+    const std::optional<json::Value> parsed = json::parse(line, &err);
+    if (!parsed.has_value() || !parsed->is_object()) {
+      write_error(conn, "", "",
+                  parsed.has_value() ? "request must be a JSON object"
+                                     : "parse error: " + err);
+      return;
+    }
+    const json::Value& msg = *parsed;
+    const json::Value* op_field = msg.find("op");
+    if (op_field == nullptr || !op_field->is_string()) {
+      write_error(conn, "", "", "missing string field 'op'");
+      return;
+    }
+    const std::string& op = op_field->as_string();
+    if (op == "ping") {
+      json::Value v = json::Value::object();
+      v.set("ok", json::Value::boolean(true));
+      v.set("op", json::Value::string("ping"));
+      v.set("server", json::Value::string("femtod"));
+      write_line(conn, v.encode());
+    } else if (op == "stats") {
+      const ServiceStats s = service_.stats();
+      json::Value v = json::Value::object();
+      v.set("ok", json::Value::boolean(true));
+      v.set("op", json::Value::string("stats"));
+      v.set("submitted", json::Value::number(s.submitted));
+      v.set("coalesced", json::Value::number(s.coalesced));
+      v.set("done", json::Value::number(s.done));
+      v.set("cancelled", json::Value::number(s.cancelled));
+      v.set("deadline_exceeded", json::Value::number(s.deadline_exceeded));
+      v.set("rejected", json::Value::number(s.rejected));
+      v.set("works_run", json::Value::number(s.works_run));
+      v.set("plans_served", json::Value::number(s.plans_served));
+      v.set("queue_depth", json::Value::number(service_.queue_depth()));
+      v.set("workers",
+            json::Value::number(service_.pipeline().worker_count()));
+      write_line(conn, v.encode());
+    } else if (op == "compile") {
+      const json::Value* id_field = msg.find("id");
+      if (id_field == nullptr || !id_field->is_string()) {
+        write_error(conn, "compile", "", "missing string field 'id'");
+        return;
+      }
+      const std::string id = id_field->as_string();
+      bool include_circuit = false;
+      const json::Value* inc = msg.find("include_circuit");
+      if (inc != nullptr && inc->is_bool()) include_circuit = inc->as_bool();
+      const json::Value* req_field = msg.find("request");
+      core::CompileRequest request;
+      if (req_field == nullptr ||
+          !protocol::decode_request(*req_field, request, err)) {
+        write_error(conn, "compile", id,
+                    req_field == nullptr ? "missing field 'request'" : err);
+        return;
+      }
+      std::shared_ptr<Ticket> ticket = service_.submit(
+          std::move(request),
+          [this, conn, id, include_circuit](Ticket& t) {
+            json::Value v = json::Value::object();
+            v.set("op", json::Value::string("result"));
+            v.set("id", json::Value::string(id));
+            v.set("state", json::Value::string(to_string(t.state())));
+            v.set("coalesced", json::Value::boolean(t.coalesced()));
+            v.set("response",
+                  protocol::encode_response(protocol::summarize(
+                      *t.response(), include_circuit)));
+            write_line(conn, v.encode());
+          });
+      {
+        std::lock_guard<std::mutex> g(conn->tickets_mu);
+        conn->tickets[id] = ticket;
+      }
+      json::Value ack = json::Value::object();
+      ack.set("ok", json::Value::boolean(true));
+      ack.set("op", json::Value::string("compile"));
+      ack.set("id", json::Value::string(id));
+      ack.set("state", json::Value::string(to_string(ticket->state())));
+      ack.set("coalesced", json::Value::boolean(ticket->coalesced()));
+      write_line(conn, ack.encode());
+    } else if (op == "cancel") {
+      const json::Value* id_field = msg.find("id");
+      if (id_field == nullptr || !id_field->is_string()) {
+        write_error(conn, "cancel", "", "missing string field 'id'");
+        return;
+      }
+      const std::string id = id_field->as_string();
+      std::shared_ptr<Ticket> ticket;
+      {
+        std::lock_guard<std::mutex> g(conn->tickets_mu);
+        const auto it = conn->tickets.find(id);
+        if (it != conn->tickets.end()) ticket = it->second;
+      }
+      if (ticket == nullptr) {
+        write_error(conn, "cancel", id, "unknown request id");
+        return;
+      }
+      service_.cancel(ticket);
+      json::Value v = json::Value::object();
+      v.set("ok", json::Value::boolean(true));
+      v.set("op", json::Value::string("cancel"));
+      v.set("id", json::Value::string(id));
+      v.set("state", json::Value::string(to_string(ticket->state())));
+      write_line(conn, v.encode());
+    } else if (op == "shutdown") {
+      std::string mode = "graceful";
+      const json::Value* mode_field = msg.find("mode");
+      if (mode_field != nullptr && mode_field->is_string())
+        mode = mode_field->as_string();
+      if (mode != "graceful" && mode != "cancel") {
+        write_error(conn, "shutdown", "",
+                    "mode must be 'graceful' or 'cancel'");
+        return;
+      }
+      json::Value v = json::Value::object();
+      v.set("ok", json::Value::boolean(true));
+      v.set("op", json::Value::string("shutdown"));
+      v.set("mode", json::Value::string(mode));
+      write_line(conn, v.encode());
+      request_shutdown(mode == "cancel");
+    } else {
+      write_error(conn, op, "", "unknown op");
+    }
+  }
+
+  SocketServerOptions options_;
+  Service service_;
+  int listen_fd_ = -1;
+  std::thread accept_thread_;
+  std::atomic<bool> accept_stop_{false};
+  std::mutex conns_mu_;
+  std::vector<std::shared_ptr<Conn>> conns_;
+  std::vector<std::thread> conn_threads_;
+  std::mutex run_mu_;
+  std::condition_variable run_cv_;
+  bool shutdown_requested_ = false;
+  std::atomic<bool> cancel_queued_{false};
+  std::mutex finish_mu_;
+  bool finished_ = false;
+};
+
+}  // namespace femto::service

@@ -537,7 +537,8 @@ void expect_identical(const core::CompileResult& a,
 TEST(PipelineDatabase, ResultsAreBitIdenticalColdWarmOnOff) {
   const Fixture& f = h2();
   const core::CompileOptions options = fast_options();
-  core::PipelineOptions popt(2, 2, true, /*verify=*/true);
+  core::PipelineOptions popt{
+      .workers = 2, .restarts = 2, .verify = true};
 
   // Off: no store at all -- the baseline result.
   core::CompilePipeline off(popt);
@@ -580,7 +581,7 @@ TEST(PipelineDatabase, ResultsAreBitIdenticalColdWarmOnOff) {
 TEST(PipelineDatabase, BoundedCacheKeepsPipelineResultsIdentical) {
   const Fixture& f = h2();
   const core::CompileOptions options = fast_options();
-  core::PipelineOptions popt(2, 1);
+  core::PipelineOptions popt{.workers = 2, .restarts = 1};
   core::CompilePipeline unbounded(popt);
   core::PipelineOptions tight = popt;
   tight.cache_budget = {/*max_bytes=*/1, /*max_entries=*/0};

@@ -281,7 +281,7 @@ TEST(Pipeline, VerifyOnCertifiesEveryRestartAndScenario) {
 TEST(Pipeline, VerifyOnDoesNotChangeResults) {
   const Fixture& f = h2();
   const core::CompileOptions options = fast_options();
-  core::CompilePipeline plain({2, 2, true});
+  core::CompilePipeline plain({.workers = 2, .restarts = 2});
   core::PipelineOptions verified_options;
   verified_options.workers = 2;
   verified_options.restarts = 2;
@@ -302,7 +302,7 @@ TEST(Pipeline, ThreadCountInvariance) {
   const core::CompileOptions options = fast_options();
   std::vector<core::MultiStartResult> results;
   for (std::size_t workers : {1u, 2u, 8u}) {
-    core::CompilePipeline pipeline({workers, 4, true});
+    core::CompilePipeline pipeline({.workers = workers, .restarts = 4});
     results.push_back(pipeline.compile_best(f.n, f.terms, options));
   }
   for (std::size_t k = 1; k < results.size(); ++k) {
@@ -321,7 +321,7 @@ TEST(Pipeline, MultiRestartNeverWorseThanSingleShot) {
   const Fixture& f = lih();
   const core::CompileOptions options = fast_options();
   const core::CompileResult single = core::compile_vqe(f.n, f.terms, options);
-  core::CompilePipeline pipeline({2, 4, true});
+  core::CompilePipeline pipeline({.workers = 2, .restarts = 4});
   const core::MultiStartResult multi =
       pipeline.compile_best(f.n, f.terms, options);
   EXPECT_LE(multi.best.model_cnots, single.model_cnots);
@@ -362,7 +362,7 @@ TEST(Pipeline, BatchOutputOrderMatchesInputScenarioOrder) {
     s.options = fast_options();
     scenarios.push_back(s);
   }
-  core::CompilePipeline pipeline({4, 1, true});
+  core::CompilePipeline pipeline({.workers = 4, .restarts = 1});
   const std::vector<core::CompileResult> results =
       pipeline.compile_batch(scenarios);
   ASSERT_EQ(results.size(), scenarios.size());
@@ -380,7 +380,7 @@ TEST(Pipeline, BatchBestAgreesWithCompileBest) {
   s.num_qubits = f.n;
   s.terms = f.terms;
   s.options = fast_options();
-  core::CompilePipeline pipeline({2, 3, true});
+  core::CompilePipeline pipeline({.workers = 2, .restarts = 3});
   const auto batch = pipeline.compile_batch_best({s, s});
   const auto single = pipeline.compile_best(f.n, f.terms, s.options);
   ASSERT_EQ(batch.size(), 2u);
@@ -388,6 +388,116 @@ TEST(Pipeline, BatchBestAgreesWithCompileBest) {
     EXPECT_EQ(b.best_restart, single.best_restart);
     expect_identical(b.best, single.best);
   }
+}
+
+// --- the unified CompileRequest entry point ---------------------------------
+
+TEST(Pipeline, AdaptersAreThinWrappersOverCompileRequest) {
+  const Fixture& f = h2();
+  core::CompileScenario s;
+  s.name = "h2";
+  s.num_qubits = f.n;
+  s.terms = f.terms;
+  s.options = fast_options();
+  core::CompilePipeline pipeline({.workers = 2, .restarts = 3});
+
+  // Every legacy adapter must produce the exact plans the request form
+  // produces -- they are documentation-preserving shims, not code paths.
+  const core::CompileResponse response =
+      pipeline.compile({.scenarios = {s}, .restarts = 3});
+  ASSERT_TRUE(response.done());
+  ASSERT_EQ(response.outcomes.size(), 1u);
+  EXPECT_EQ(response.outcomes[0].restarts_completed, 3u);
+
+  const core::MultiStartResult via_best =
+      pipeline.compile_best(f.n, f.terms, s.options);
+  expect_identical(response.outcomes[0].result.best, via_best.best);
+  EXPECT_EQ(response.outcomes[0].result.best_restart, via_best.best_restart);
+
+  const core::CompileResponse one_restart =
+      pipeline.compile({.scenarios = {s}, .restarts = 1});
+  ASSERT_TRUE(one_restart.done());
+  const std::vector<core::CompileResult> via_batch =
+      pipeline.compile_batch({s});
+  expect_identical(one_restart.outcomes[0].result.best, via_batch[0]);
+
+  const core::CompileResponse targeted = pipeline.compile({
+      .scenarios = {s},
+      .targets = {synth::HardwareTarget::all_to_all_cnot(),
+                  synth::HardwareTarget::trapped_ion_xx()},
+      .restarts = 3,
+  });
+  ASSERT_TRUE(targeted.done());
+  ASSERT_EQ(targeted.outcomes.size(), 2u);
+  const auto via_targets = pipeline.compile_best_for_targets(
+      f.n, f.terms, s.options,
+      {synth::HardwareTarget::all_to_all_cnot(),
+       synth::HardwareTarget::trapped_ion_xx()});
+  for (std::size_t t = 0; t < 2; ++t) {
+    EXPECT_EQ(targeted.outcomes[t].target.name, via_targets[t].target.name);
+    expect_identical(targeted.outcomes[t].result.best,
+                     via_targets[t].result.best);
+  }
+}
+
+TEST(Pipeline, CompileRequestRejectsInvalidInputWithDiagnostic) {
+  core::CompilePipeline pipeline({.workers = 2});
+  const Fixture& f = h2();
+  core::CompileScenario s;
+  s.name = "h2";
+  s.num_qubits = f.n;
+  s.terms = f.terms;
+  s.options = fast_options();
+
+  const core::CompileResponse no_restarts =
+      pipeline.compile({.scenarios = {s}, .restarts = 0});
+  EXPECT_EQ(no_restarts.status, core::RequestStatus::kRejected);
+  EXPECT_FALSE(no_restarts.detail.empty());
+
+  const core::CompileResponse no_scenarios = pipeline.compile({});
+  EXPECT_EQ(no_scenarios.status, core::RequestStatus::kRejected);
+
+  core::CompileScenario bad = s;
+  bad.options.target = synth::HardwareTarget::linear_nn(2);  // wrong size
+  const core::CompileResponse bad_target =
+      pipeline.compile({.scenarios = {bad}});
+  EXPECT_EQ(bad_target.status, core::RequestStatus::kRejected);
+  EXPECT_NE(bad_target.detail.find(bad.name), std::string::npos)
+      << "diagnostic must name the offending scenario: " << bad_target.detail;
+}
+
+TEST(Pipeline, CompileRequestHonorsCancelAndDeadline) {
+  const Fixture& f = lih();
+  core::CompileScenario s;
+  s.name = "lih";
+  s.num_qubits = f.n;
+  s.terms = f.terms;
+  s.options = fast_options();
+  core::CompilePipeline pipeline({.workers = 2});
+
+  // Pre-set cancel flag: nothing may run.
+  std::atomic<bool> cancel{true};
+  const core::CompileResponse cancelled = pipeline.compile(
+      {.scenarios = {s}, .restarts = 8, .cancel = &cancel});
+  EXPECT_EQ(cancelled.status, core::RequestStatus::kCancelled);
+  ASSERT_EQ(cancelled.outcomes.size(), 1u);
+  EXPECT_EQ(cancelled.outcomes[0].restarts_completed, 0u);
+
+  // Already-expired deadline: same, but reported as DEADLINE_EXCEEDED.
+  const core::CompileResponse expired = pipeline.compile(
+      {.scenarios = {s}, .restarts = 8, .deadline_s = 1e-9});
+  EXPECT_EQ(expired.status, core::RequestStatus::kDeadlineExceeded);
+  EXPECT_EQ(expired.outcomes[0].restarts_completed, 0u);
+
+  // A generous deadline changes nothing about the result.
+  const core::CompileResponse relaxed = pipeline.compile(
+      {.scenarios = {s}, .restarts = 2, .deadline_s = 3600.0});
+  const core::CompileResponse plain =
+      pipeline.compile({.scenarios = {s}, .restarts = 2});
+  ASSERT_TRUE(relaxed.done());
+  ASSERT_TRUE(plain.done());
+  expect_identical(relaxed.outcomes[0].result.best,
+                   plain.outcomes[0].result.best);
 }
 
 }  // namespace

@@ -1,0 +1,587 @@
+// Tests for the compilation service stack (src/service/): the canonical
+// JSON layer, the wire protocol round trip, the request lifecycle state
+// machine (exhaustively, every one of the 7x7 edges), and the Service
+// scheduler's admission / coalescing / cancellation / deadline / drain
+// behavior, ending with a full socket loopback.
+//
+// The load-bearing property mirrors the pipeline's: a seeded request must
+// produce a BYTE-IDENTICAL canonical response whether compiled in-process,
+// through a cold service, coalesced with concurrent identical submissions,
+// or after the shared cache warmed up -- that is what makes femtod a cache
+// you can trust rather than a nondeterministic middleman.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/client.hpp"
+#include "service/server.hpp"
+
+namespace femto {
+namespace {
+
+using service::RequestState;
+
+/// A small deterministic UCCSD-shaped scenario (no chemistry stack) that
+/// still exercises transform, sorting, compression, synthesis, and
+/// verification. ~10 ms per restart -- fast enough to multi-restart.
+core::CompileScenario tiny_scenario(const std::string& name) {
+  core::CompileScenario s;
+  s.name = name;
+  s.num_qubits = 4;
+  s.terms = {fermion::ExcitationTerm::make_double(2, 3, 0, 1),
+             fermion::ExcitationTerm::single(2, 0),
+             fermion::ExcitationTerm::single(3, 1)};
+  s.options.transform = core::TransformKind::kAdvanced;
+  s.options.sorting = core::SortingMode::kAdvanced;
+  s.options.compression = core::CompressionMode::kHybrid;
+  s.options.coloring_orders = 8;
+  s.options.sa_options.steps = 150;
+  s.options.pso_options.particles = 6;
+  s.options.pso_options.iterations = 6;
+  s.options.gtsp_options.population = 8;
+  s.options.gtsp_options.generations = 15;
+  s.options.emit_circuit = true;
+  return s;
+}
+
+core::CompileRequest tiny_request(const std::string& name,
+                                  std::size_t restarts = 1,
+                                  std::uint64_t seed = 20230306) {
+  core::CompileRequest r;
+  r.scenarios = {tiny_scenario(name)};
+  r.restarts = restarts;
+  r.seed = seed;
+  return r;
+}
+
+std::string canonical(const core::CompileResponse& response) {
+  return service::protocol::encode_response(
+             service::protocol::summarize(response, /*include_circuits=*/true))
+      .encode();
+}
+
+/// Polls a ticket until it reaches `want` (terminal states stick, so a
+/// missed intermediate observation fails loudly instead of hanging).
+bool wait_for_state(const std::shared_ptr<service::Ticket>& t,
+                    RequestState want, int timeout_ms = 10000) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    const RequestState s = t->state();
+    if (s == want) return true;
+    if (service::is_terminal(s)) return false;
+    if (std::chrono::steady_clock::now() > deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+// --- canonical JSON ---------------------------------------------------------
+
+TEST(ServiceJson, EncodeParseIdentity) {
+  const std::string text =
+      R"({"a":1,"b":-2.5,"c":1e-3,"d":"x\"y\\z","e":[true,false,null],)"
+      R"("f":{"nested":[1,2,3]},"g":18446744073709551615})";
+  std::string err;
+  const auto v = service::json::parse(text, &err);
+  ASSERT_TRUE(v.has_value()) << err;
+  // Canonical re-encode of canonical input is the identity -- the property
+  // that makes value equality testable as byte equality.
+  EXPECT_EQ(v->encode(), text);
+  // u64 values survive losslessly (doubles would not hold 2^64-1).
+  const service::json::Value* g = v->find("g");
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->as_u64(), std::optional<std::uint64_t>(18446744073709551615u));
+}
+
+TEST(ServiceJson, RejectsMalformedInput) {
+  for (const char* bad :
+       {"", "{", "[1,2", "{\"a\":}", "{\"a\":1,}", "tru", "1 2",
+        "{\"a\":1}trailing", "\"unterminated", "{\"a\":+1}", "[01]",
+        "nulll", "{\"\\q\":1}"}) {
+    std::string err;
+    EXPECT_FALSE(service::json::parse(bad, &err).has_value())
+        << "accepted malformed input: " << bad;
+    EXPECT_FALSE(err.empty());
+  }
+  // Depth bomb: parser must refuse, not overflow the stack.
+  std::string deep(1000, '[');
+  deep += std::string(1000, ']');
+  EXPECT_FALSE(service::json::parse(deep).has_value());
+}
+
+// --- protocol round trip ----------------------------------------------------
+
+core::CompileScenario random_scenario(std::mt19937& rng, int index) {
+  std::uniform_int_distribution<int> coin(0, 1);
+  std::uniform_int_distribution<int> small(0, 3);
+  core::CompileScenario s;
+  s.name = "rand-" + std::to_string(index);
+  s.num_qubits = 6;
+  s.terms = {fermion::ExcitationTerm::make_double(4, 5, 0, 1),
+             fermion::ExcitationTerm::single(
+                 4, static_cast<std::size_t>(small(rng)))};
+  s.terms[0].mp2_estimate = 0.25 + 0.125 * small(rng);
+  const core::TransformKind transforms[] = {
+      core::TransformKind::kJordanWigner, core::TransformKind::kBravyiKitaev,
+      core::TransformKind::kBaselineGT, core::TransformKind::kAdvanced};
+  s.options.transform = transforms[small(rng)];
+  s.options.sorting = coin(rng) != 0 ? core::SortingMode::kAdvanced
+                                     : core::SortingMode::kBaseline;
+  s.options.compression = coin(rng) != 0 ? core::CompressionMode::kHybrid
+                                         : core::CompressionMode::kNone;
+  s.options.coloring_orders = 1 + small(rng);
+  s.options.sa_options.steps = 10 + small(rng);
+  s.options.sa_options.t_initial = 1.5;
+  s.options.pso_options.inertia = 0.5 + 0.0625 * small(rng);
+  s.options.gtsp_options.mutation_rate = 0.125;
+  s.options.seed = coin(rng) != 0 ? 0xFFFFFFFFFFFFFFFFull
+                                  : static_cast<std::uint64_t>(rng());
+  s.options.emit_circuit = coin(rng) != 0;
+  if (coin(rng) != 0) {
+    s.options.target = synth::HardwareTarget::trapped_ion_xx();
+  } else if (coin(rng) != 0) {
+    s.options.target = synth::HardwareTarget::linear_nn(6);
+    s.options.emit_circuit = true;  // constrained targets must emit
+  }
+  return s;
+}
+
+TEST(ServiceProtocol, RequestRoundTripIsByteIdentical) {
+  std::mt19937 rng(7);
+  for (int trial = 0; trial < 25; ++trial) {
+    core::CompileRequest request;
+    const int scenario_count = 1 + static_cast<int>(rng() % 3);
+    for (int i = 0; i < scenario_count; ++i)
+      request.scenarios.push_back(random_scenario(rng, trial * 10 + i));
+    if (rng() % 2 == 0)
+      request.targets = {synth::HardwareTarget::all_to_all_cnot(),
+                         synth::HardwareTarget::trapped_ion_xx()};
+    request.restarts = 1 + rng() % 4;
+    if (rng() % 2 == 0) request.seed = 0xFFFFFFFFFFFFFFFFull;
+    request.deadline_s = (rng() % 2 == 0) ? 12.5 : 0.0;
+    request.verify = rng() % 2 == 0;
+
+    const std::string encoded =
+        service::protocol::encode_request(request).encode();
+    const auto parsed = service::json::parse(encoded);
+    ASSERT_TRUE(parsed.has_value());
+    core::CompileRequest decoded;
+    std::string err;
+    ASSERT_TRUE(service::protocol::decode_request(*parsed, decoded, err))
+        << err;
+    // Byte-identical re-encode == field-faithful decode, including every
+    // solver knob and double (shortest-round-trip number tokens).
+    EXPECT_EQ(service::protocol::encode_request(decoded).encode(), encoded);
+  }
+}
+
+TEST(ServiceProtocol, DecodeRejectsBadInput) {
+  auto decode = [](const std::string& text) {
+    const auto v = service::json::parse(text);
+    if (!v.has_value()) return std::string("unparseable");
+    core::CompileRequest out;
+    std::string err;
+    if (service::protocol::decode_request(*v, out, err)) return std::string();
+    return err.empty() ? std::string("?") : err;
+  };
+  EXPECT_NE(decode(R"({"scenarios":0})"), "");
+  EXPECT_NE(decode(R"({"scenarios":[{"num_qubits":"x"}]})"), "");
+  EXPECT_NE(decode(
+                R"({"scenarios":[{"name":"a","num_qubits":4,"terms":)"
+                R"([["q",0,1,0]],"options":{}}]})"),
+            "");
+  EXPECT_NE(
+      decode(R"({"scenarios":[{"name":"a","num_qubits":4,"terms":[],)"
+             R"("options":{"transform":"quantum"}}]})"),
+      "");
+  // Coupling edge endpoint out of range.
+  EXPECT_NE(
+      decode(R"({"scenarios":[],"targets":[{"name":"t","entangler":"cnot",)"
+             R"("allow_routing":true,"routing_weight":3,)"
+             R"("coupling":{"n":2,"edges":[[0,5]]}}]})"),
+      "");
+  EXPECT_NE(decode(R"({"restarts":-3})"), "");
+  EXPECT_EQ(decode(R"({"scenarios":[]})"), "");  // empty but well-formed
+}
+
+TEST(ServiceProtocol, ResponseRoundTripCarriesCircuits) {
+  core::CompilePipeline pipeline({.workers = 2});
+  core::CompileRequest request = tiny_request("roundtrip", 2);
+  request.verify = true;
+  const core::CompileResponse response = pipeline.compile(request);
+  ASSERT_TRUE(response.done());
+
+  const service::protocol::WireResponse wire =
+      service::protocol::summarize(response, /*include_circuits=*/true);
+  ASSERT_EQ(wire.outcomes.size(), 1u);
+  EXPECT_TRUE(wire.outcomes[0].verified.value_or(false));
+  ASSERT_FALSE(wire.outcomes[0].circuit_hex.empty());
+
+  const std::string encoded =
+      service::protocol::encode_response(wire).encode();
+  const auto parsed = service::json::parse(encoded);
+  ASSERT_TRUE(parsed.has_value());
+  service::protocol::WireResponse decoded;
+  std::string err;
+  ASSERT_TRUE(service::protocol::decode_response(*parsed, decoded, err))
+      << err;
+  EXPECT_EQ(service::protocol::encode_response(decoded).encode(), encoded);
+
+  // The shipped circuit decodes into the exact emitted gate sequence.
+  const auto circuit = service::protocol::decode_wire_circuit(
+      decoded.outcomes[0].circuit_hex);
+  ASSERT_TRUE(circuit.has_value());
+  EXPECT_EQ(circuit->gates(),
+            response.outcomes[0].result.best.final_circuit().gates());
+}
+
+// --- lifecycle: the whole 7x7 edge table ------------------------------------
+
+TEST(ServiceLifecycle, EveryEdgeMatchesTheWhitelist) {
+  using service::RequestLifecycle;
+  struct Edge {
+    RequestState from, to;
+  };
+  const Edge allowed[] = {
+      {RequestState::kQueued, RequestState::kAdmitted},
+      {RequestState::kQueued, RequestState::kRejected},
+      {RequestState::kQueued, RequestState::kCancelled},
+      {RequestState::kQueued, RequestState::kDeadlineExceeded},
+      {RequestState::kAdmitted, RequestState::kRunning},
+      {RequestState::kAdmitted, RequestState::kCancelled},
+      {RequestState::kAdmitted, RequestState::kDeadlineExceeded},
+      {RequestState::kRunning, RequestState::kDone},
+      {RequestState::kRunning, RequestState::kCancelled},
+      {RequestState::kRunning, RequestState::kDeadlineExceeded},
+  };
+  // A legal driving path into every state.
+  auto drive_to = [](RequestState target) {
+    RequestLifecycle lc;
+    switch (target) {
+      case RequestState::kQueued: break;
+      case RequestState::kAdmitted: lc.advance(RequestState::kAdmitted); break;
+      case RequestState::kRunning:
+        lc.advance(RequestState::kAdmitted);
+        lc.advance(RequestState::kRunning);
+        break;
+      case RequestState::kDone:
+        lc.advance(RequestState::kAdmitted);
+        lc.advance(RequestState::kRunning);
+        lc.advance(RequestState::kDone);
+        break;
+      case RequestState::kCancelled: lc.advance(RequestState::kCancelled); break;
+      case RequestState::kDeadlineExceeded:
+        lc.advance(RequestState::kDeadlineExceeded);
+        break;
+      case RequestState::kRejected: lc.advance(RequestState::kRejected); break;
+    }
+    return lc;
+  };
+  int allowed_seen = 0;
+  for (int f = 0; f < service::kRequestStateCount; ++f) {
+    for (int t = 0; t < service::kRequestStateCount; ++t) {
+      const auto from = static_cast<RequestState>(f);
+      const auto to = static_cast<RequestState>(t);
+      bool expect_allowed = false;
+      for (const Edge& e : allowed)
+        if (e.from == from && e.to == to) expect_allowed = true;
+      EXPECT_EQ(service::transition_allowed(from, to), expect_allowed)
+          << service::to_string(from) << " -> " << service::to_string(to);
+      RequestLifecycle lc = drive_to(from);
+      ASSERT_EQ(lc.state(), from);
+      EXPECT_EQ(lc.try_advance(to), expect_allowed)
+          << service::to_string(from) << " -> " << service::to_string(to);
+      EXPECT_EQ(lc.state(), expect_allowed ? to : from)
+          << "forbidden edge must not move the state";
+      if (expect_allowed) ++allowed_seen;
+    }
+  }
+  EXPECT_EQ(allowed_seen, 10) << "whitelist size drifted";
+  // Terminal states absorb: no outgoing edge whatsoever.
+  for (const RequestState s :
+       {RequestState::kDone, RequestState::kCancelled,
+        RequestState::kDeadlineExceeded, RequestState::kRejected}) {
+    EXPECT_TRUE(service::is_terminal(s));
+    for (int t = 0; t < service::kRequestStateCount; ++t)
+      EXPECT_FALSE(
+          service::transition_allowed(s, static_cast<RequestState>(t)));
+  }
+  for (int i = 0; i < service::kRequestStateCount; ++i) {
+    const auto s = static_cast<RequestState>(i);
+    EXPECT_EQ(service::parse_request_state(service::to_string(s)), s);
+  }
+}
+
+// --- service scheduler ------------------------------------------------------
+
+service::ServiceOptions small_service() {
+  service::ServiceOptions o;
+  o.pipeline = {.workers = 2};
+  return o;
+}
+
+TEST(Service, ServedPlanIsByteIdenticalToInProcessCompile) {
+  core::CompileRequest request = tiny_request("identity", 3);
+  request.verify = true;
+
+  core::CompilePipeline reference({.workers = 2});
+  const std::string expected = canonical(reference.compile(request));
+
+  service::Service svc(small_service());
+  const auto ticket = svc.submit(request);
+  const core::CompileResponse& served = ticket->wait();
+  EXPECT_EQ(ticket->state(), RequestState::kDone);
+  EXPECT_FALSE(ticket->coalesced());
+  EXPECT_EQ(canonical(served), expected);
+
+  // Same request again: the service cache is warm now (synthesis memo
+  // hits), and the answer must still be the same bytes.
+  const auto warm = svc.submit(request);
+  EXPECT_EQ(canonical(warm->wait()), expected);
+
+  const service::ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.submitted, 2u);
+  EXPECT_EQ(stats.done, 2u);
+  EXPECT_EQ(stats.works_run, 2u);
+  EXPECT_EQ(stats.terminals(), stats.submitted);
+}
+
+TEST(Service, InvalidRequestRejectsBeforeQueueing) {
+  service::Service svc(small_service());
+  core::CompileRequest bad = tiny_request("bad");
+  bad.restarts = 0;
+  bool callback_fired = false;
+  const auto ticket = svc.submit(bad, [&](service::Ticket& t) {
+    callback_fired = true;
+    EXPECT_EQ(t.state(), RequestState::kRejected);
+  });
+  EXPECT_EQ(ticket->state(), RequestState::kRejected);
+  EXPECT_TRUE(callback_fired) << "rejection callback must fire synchronously";
+  EXPECT_NE(ticket->wait().detail.find("invalid request"), std::string::npos);
+  EXPECT_EQ(svc.stats().rejected, 1u);
+  EXPECT_EQ(svc.stats().works_run, 0u);
+}
+
+TEST(Service, QueueFullRejectsLoudly) {
+  service::ServiceOptions options = small_service();
+  options.max_queue = 2;
+  service::Service svc(options);
+  // Occupy the scheduler so subsequent submits stay queued.
+  const auto blocker = svc.submit(tiny_request("blocker", 64));
+  ASSERT_TRUE(wait_for_state(blocker, RequestState::kRunning));
+  const auto q1 = svc.submit(tiny_request("q1"));
+  const auto q2 = svc.submit(tiny_request("q2"));
+  const auto overflow = svc.submit(tiny_request("q3"));
+  EXPECT_EQ(overflow->state(), RequestState::kRejected);
+  EXPECT_NE(overflow->wait().detail.find("queue full"), std::string::npos);
+  svc.cancel(blocker);
+  EXPECT_TRUE(q1->wait().done());
+  EXPECT_TRUE(q2->wait().done());
+  EXPECT_EQ(svc.stats().rejected, 1u);
+}
+
+TEST(Service, CancelWhileQueuedNeverRuns) {
+  service::Service svc(small_service());
+  const auto blocker = svc.submit(tiny_request("blocker", 64));
+  ASSERT_TRUE(wait_for_state(blocker, RequestState::kRunning));
+  const auto victim = svc.submit(tiny_request("victim"));
+  EXPECT_EQ(victim->state(), RequestState::kQueued);
+  svc.cancel(victim);
+  EXPECT_EQ(victim->state(), RequestState::kCancelled);
+  EXPECT_EQ(victim->wait().status, core::RequestStatus::kCancelled);
+  svc.cancel(blocker);
+  svc.drain(/*cancel_queued=*/false);
+  // The victim's work was dropped before running: only the blocker ran.
+  EXPECT_EQ(svc.stats().works_run, 1u);
+  EXPECT_EQ(svc.stats().cancelled, 2u);
+}
+
+TEST(Service, CancelDuringRunningStopsAtRestartBoundary) {
+  service::Service svc(small_service());
+  const auto started = std::chrono::steady_clock::now();
+  const auto ticket = svc.submit(tiny_request("cancel-running", 500));
+  ASSERT_TRUE(wait_for_state(ticket, RequestState::kRunning));
+  svc.cancel(ticket);
+  EXPECT_EQ(ticket->state(), RequestState::kCancelled);
+  svc.drain(/*cancel_queued=*/false);  // scheduler observed the flag and quit
+  const auto elapsed = std::chrono::steady_clock::now() - started;
+  // 500 restarts would take many seconds; cooperative cancel must cut the
+  // run short at a restart boundary.
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::seconds>(elapsed).count(),
+            30);
+  EXPECT_EQ(svc.stats().cancelled, 1u);
+  EXPECT_EQ(svc.stats().works_run, 1u);
+}
+
+TEST(Service, DeadlineExceededMidRequest) {
+  service::Service svc(small_service());
+  core::CompileRequest request = tiny_request("deadline-mid", 2000);
+  request.deadline_s = 0.15;
+  const auto ticket = svc.submit(request);
+  const core::CompileResponse& response = ticket->wait();
+  EXPECT_EQ(ticket->state(), RequestState::kDeadlineExceeded);
+  EXPECT_EQ(response.status, core::RequestStatus::kDeadlineExceeded);
+  EXPECT_NE(response.detail.find("restart job"), std::string::npos)
+      << response.detail;
+  ASSERT_EQ(response.outcomes.size(), 1u);
+  EXPECT_LT(response.outcomes[0].restarts_completed, 2000u)
+      << "deadline must interrupt the restart sweep";
+}
+
+TEST(Service, DeadlineExpiredWhileQueued) {
+  service::Service svc(small_service());
+  // A long blocker (cancelled below, after the victim's budget is spent)
+  // guarantees the victim's entire deadline elapses in the queue.
+  const auto blocker = svc.submit(tiny_request("blocker", 5000));
+  ASSERT_TRUE(wait_for_state(blocker, RequestState::kRunning));
+  core::CompileRequest request = tiny_request("deadline-queued");
+  request.deadline_s = 0.001;  // expires while waiting behind the blocker
+  const auto ticket = svc.submit(request);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  svc.cancel(blocker);
+  const core::CompileResponse& response = ticket->wait();
+  EXPECT_EQ(ticket->state(), RequestState::kDeadlineExceeded);
+  EXPECT_NE(response.detail.find("queued"), std::string::npos)
+      << response.detail;
+  EXPECT_TRUE(response.outcomes.empty()) << "no restart may have run";
+}
+
+TEST(Service, DrainWithQueuedWorkCancelsItAndStopsAdmission) {
+  service::Service svc(small_service());
+  const auto blocker = svc.submit(tiny_request("blocker", 32));
+  ASSERT_TRUE(wait_for_state(blocker, RequestState::kRunning));
+  const auto q1 = svc.submit(tiny_request("q1"));
+  const auto q2 = svc.submit(tiny_request("q2"));
+  svc.drain(/*cancel_queued=*/true);
+  // Queued work was cancelled; the in-flight blocker ran to completion
+  // (graceful drain never kills running work).
+  EXPECT_EQ(q1->state(), RequestState::kCancelled);
+  EXPECT_EQ(q2->state(), RequestState::kCancelled);
+  EXPECT_EQ(blocker->state(), RequestState::kDone);
+  EXPECT_TRUE(svc.draining());
+  const auto late = svc.submit(tiny_request("late"));
+  EXPECT_EQ(late->state(), RequestState::kRejected);
+  EXPECT_NE(late->wait().detail.find("draining"), std::string::npos);
+}
+
+TEST(Service, CoalescingHammerServesOneExecutionToEveryone) {
+  core::CompileRequest request = tiny_request("hammer", 2);
+  request.verify = true;
+  core::CompilePipeline reference({.workers = 2});
+  const std::string expected = canonical(reference.compile(request));
+
+  service::Service svc(small_service());
+  const auto blocker = svc.submit(tiny_request("blocker", 64));
+  ASSERT_TRUE(wait_for_state(blocker, RequestState::kRunning));
+
+  // N identical requests submitted from N threads while the scheduler is
+  // busy: the first queues, the rest must coalesce onto it.
+  constexpr int kClients = 6;
+  std::vector<std::shared_ptr<service::Ticket>> tickets(kClients);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kClients);
+    for (int i = 0; i < kClients; ++i)
+      threads.emplace_back(
+          [&, i] { tickets[i] = svc.submit(request); });
+    for (std::thread& t : threads) t.join();
+  }
+  svc.cancel(blocker);
+
+  int coalesced_count = 0;
+  for (const auto& t : tickets) {
+    const core::CompileResponse& response = t->wait();
+    EXPECT_EQ(t->state(), RequestState::kDone);
+    EXPECT_EQ(canonical(response), expected)
+        << "every coalesced client must receive bit-identical plans";
+    if (t->coalesced()) ++coalesced_count;
+  }
+  EXPECT_EQ(coalesced_count, kClients - 1);
+  const service::ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.coalesced, static_cast<std::uint64_t>(kClients - 1));
+  // blocker + ONE hammer execution, not six.
+  EXPECT_EQ(stats.works_run, 2u);
+  EXPECT_EQ(stats.terminals(), stats.submitted);
+}
+
+TEST(Service, DifferentSeedsDoNotCoalesce) {
+  service::Service svc(small_service());
+  const auto blocker = svc.submit(tiny_request("blocker", 32));
+  ASSERT_TRUE(wait_for_state(blocker, RequestState::kRunning));
+  const auto a = svc.submit(tiny_request("same", 1, 1));
+  const auto b = svc.submit(tiny_request("same", 1, 2));
+  EXPECT_FALSE(b->coalesced()) << "different seeds are different requests";
+  svc.cancel(blocker);
+  EXPECT_TRUE(a->wait().done());
+  EXPECT_TRUE(b->wait().done());
+  EXPECT_EQ(svc.stats().coalesced, 0u);
+}
+
+// --- socket loopback --------------------------------------------------------
+
+TEST(ServiceSocket, LoopbackCompileMatchesInProcess) {
+  const std::string socket_path =
+      "/tmp/femtod-test-" + std::to_string(::getpid()) + ".sock";
+  service::SocketServer server(
+      {.socket_path = socket_path, .service = small_service()});
+  ASSERT_EQ(server.start(), "");
+  std::thread runner([&] { server.run(); });
+  // Early ASSERT returns must still stop the server and join the thread.
+  struct Joiner {
+    service::SocketServer& server;
+    std::thread& thread;
+    ~Joiner() {
+      server.request_shutdown(false);
+      if (thread.joinable()) thread.join();
+    }
+  } joiner{server, runner};
+
+  auto conn = service::wait_for_server(socket_path);
+  ASSERT_TRUE(conn.has_value());
+  service::CompileClient client(std::move(*conn));
+  EXPECT_TRUE(client.ping());
+
+  // Malformed and ill-typed lines get error replies, not disconnects.
+  ASSERT_TRUE(client.connection().send_line("{not json"));
+  auto reply = client.connection().recv_line(5000);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_NE(reply->find("\"ok\":false"), std::string::npos);
+  ASSERT_TRUE(client.connection().send_line(R"({"op":"compile","id":"x"})"));
+  reply = client.connection().recv_line(5000);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_NE(reply->find("\"ok\":false"), std::string::npos);
+  ASSERT_TRUE(
+      client.connection().send_line(R"({"op":"cancel","id":"ghost"})"));
+  reply = client.connection().recv_line(5000);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_NE(reply->find("unknown request id"), std::string::npos);
+
+  core::CompileRequest request = tiny_request("loopback", 2);
+  request.verify = true;
+  core::CompilePipeline reference({.workers = 2});
+  const std::string expected = canonical(reference.compile(request));
+
+  std::string err;
+  const auto served = client.compile(request, "r1", err,
+                                     /*include_circuit=*/true);
+  ASSERT_TRUE(served.has_value()) << err;
+  EXPECT_EQ(served->state, RequestState::kDone);
+  EXPECT_EQ(served->canonical_response, expected)
+      << "socket transport must not perturb the canonical bytes";
+
+  const auto stats = client.stats();
+  ASSERT_TRUE(stats.has_value());
+  const service::json::Value* done = stats->find("done");
+  ASSERT_NE(done, nullptr);
+  EXPECT_EQ(done->as_u64().value_or(0), 1u);
+
+  EXPECT_TRUE(client.shutdown());
+}
+
+}  // namespace
+}  // namespace femto

@@ -432,7 +432,7 @@ TEST(TargetCompile, DefaultTargetIsBitIdenticalAnchor) {
 TEST(TargetCompile, AllThreeTargetsCompileAndCertify) {
   const WaterFixture& f = water(4);
   core::CompileOptions base = fast_options();
-  core::PipelineOptions po(/*workers=*/2, /*restarts=*/2);
+  core::PipelineOptions po{.workers = 2, .restarts = 2};
   po.verify = true;
   core::CompilePipeline pipeline(po);
   const std::vector<HardwareTarget> targets = {

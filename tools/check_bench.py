@@ -66,6 +66,11 @@ ABS_FLOORS = {
     # stay at memory speed (binary search + circuit decode). The reference
     # machine does >1M lookups/s; the floor leaves ~20x headroom.
     "db": {"warm_lookups_per_s": 50000.0},
+    # End-to-end daemon serving (bench_service drives a real femtod over
+    # its socket): the reference machine serves ~30-75 plans/s through the
+    # wire protocol; the floor only guards against pathological collapse
+    # (a stuck scheduler or a protocol round trip gone quadratic).
+    "service": {"plans_per_s": 2.0},
 }
 
 # suite -> {"section/metric" glob: pinned value}. The metric must equal the
@@ -82,6 +87,18 @@ ABS_EXACT = {
     # every DB-served circuit (warm_verified). Any value but 1.0 means the
     # database served a circuit that differs from fresh synthesis.
     "db": {"*/warm_equals_cold": 1.0, "*/warm_verified": 1.0},
+    # The daemon determinism + lifecycle contract, end to end over the wire
+    # (bench_service boots femtod and byte-compares every served response
+    # against the same request compiled in-process): serving, coalescing,
+    # and database-warm serving must all be bit-identical, deadlines must
+    # actually fire, and graceful shutdown must drain cleanly.
+    "service": {
+        "*/served_equals_inprocess": 1.0,
+        "*/coalesced_identical": 1.0,
+        "*/db_warm_equals_inprocess": 1.0,
+        "*/deadline_enforced": 1.0,
+        "*/clean_shutdown": 1.0,
+    },
 }
 
 

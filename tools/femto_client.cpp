@@ -1,0 +1,259 @@
+// femto-client: command-line client for a running femtod, plus the
+// self-contained daemon smoke test CI runs as a ctest.
+//
+//   femto-client --socket <path> ping
+//   femto-client --socket <path> stats
+//   femto-client --socket <path> shutdown [--cancel]
+//   femto-client --socket <path> compile <scenarios.jsonl>
+//       Submits every canonical protocol scenario in the file (one per
+//       line, as written by `femto-db export-scenarios`) as ONE request
+//       and prints the per-scenario plan summary.
+//
+//   femto-client --smoke <path-to-femtod>
+//       Boots a fresh femtod on a private socket, pings it, compiles a
+//       small seeded UCCSD scenario through the daemon AND in-process on
+//       an identical pipeline, and FAILS unless the two canonical response
+//       encodings are byte-identical (the serving determinism contract).
+//       Finishes with a graceful shutdown handshake and checks the daemon
+//       exits 0. This is the `femtod_smoke` ctest.
+//
+// Exit codes: 0 ok, 1 contract/request failure, 2 usage/transport error.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <signal.h>
+#include <unistd.h>
+
+#include "service/client.hpp"
+#include "service/server.hpp"
+
+namespace {
+
+using namespace femto;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: femto-client --socket <path> ping|stats|shutdown [--cancel]\n"
+      "       femto-client --socket <path> compile <scenarios.jsonl>\n"
+      "       femto-client --smoke <path-to-femtod>\n");
+  return 2;
+}
+
+/// A small deterministic UCCSD-shaped scenario (no chemistry stack): 4
+/// spin-orbitals, one double + two singles, advanced pipeline, tiny solver
+/// budgets. Fast enough for a smoke test, rich enough to exercise
+/// synthesis, compression, and verification.
+core::CompileScenario smoke_scenario() {
+  core::CompileScenario s;
+  s.name = "smoke/uccsd4";
+  s.num_qubits = 4;
+  s.terms = {fermion::ExcitationTerm::make_double(2, 3, 0, 1),
+             fermion::ExcitationTerm::single(2, 0),
+             fermion::ExcitationTerm::single(3, 1)};
+  s.options.transform = core::TransformKind::kAdvanced;
+  s.options.sorting = core::SortingMode::kAdvanced;
+  s.options.compression = core::CompressionMode::kHybrid;
+  s.options.coloring_orders = 8;
+  s.options.sa_options.steps = 200;
+  s.options.pso_options.particles = 6;
+  s.options.pso_options.iterations = 8;
+  s.options.gtsp_options.population = 8;
+  s.options.gtsp_options.generations = 20;
+  s.options.emit_circuit = true;
+  return s;
+}
+
+int cmd_smoke(const std::string& femtod_path) {
+  const std::string socket_path =
+      "/tmp/femtod-smoke-" + std::to_string(::getpid()) + ".sock";
+  const pid_t pid = service::spawn_process(
+      {femtod_path, "--socket", socket_path, "--workers", "2"});
+  if (pid < 0) {
+    std::fprintf(stderr, "smoke: cannot spawn %s\n", femtod_path.c_str());
+    return 2;
+  }
+
+  auto conn = service::wait_for_server(socket_path);
+  if (!conn.has_value()) {
+    std::fprintf(stderr, "smoke: daemon socket never came up\n");
+    ::kill(pid, SIGKILL);
+    (void)service::wait_process(pid);
+    return 1;
+  }
+  service::CompileClient client(std::move(*conn));
+  if (!client.ping()) {
+    std::fprintf(stderr, "smoke: ping failed\n");
+    ::kill(pid, SIGKILL);
+    (void)service::wait_process(pid);
+    return 1;
+  }
+
+  core::CompileRequest request;
+  request.scenarios = {smoke_scenario()};
+  request.restarts = 2;
+  request.seed = 20230306;
+  request.verify = true;
+
+  std::string err;
+  const auto served = client.compile(request, "smoke-1", err,
+                                     /*include_circuit=*/true);
+  if (!served.has_value()) {
+    std::fprintf(stderr, "smoke: compile failed: %s\n", err.c_str());
+    ::kill(pid, SIGKILL);
+    (void)service::wait_process(pid);
+    return 1;
+  }
+
+  // The same request, in-process, on an identically configured pipeline.
+  core::CompilePipeline pipeline({.workers = 2});
+  const core::CompileResponse local = pipeline.compile(request);
+  const std::string local_canonical =
+      service::protocol::encode_response(
+          service::protocol::summarize(local, /*include_circuits=*/true))
+          .encode();
+
+  int rc = 0;
+  if (served->state != service::RequestState::kDone) {
+    std::fprintf(stderr, "smoke: daemon state %s, want DONE\n",
+                 to_string(served->state));
+    rc = 1;
+  } else if (served->canonical_response != local_canonical) {
+    std::fprintf(stderr,
+                 "smoke: daemon response differs from in-process compile\n"
+                 "  daemon: %s\n  local:  %s\n",
+                 served->canonical_response.c_str(), local_canonical.c_str());
+    rc = 1;
+  } else if (served->response.outcomes.size() != 1 ||
+             !served->response.outcomes[0].verified.value_or(false)) {
+    std::fprintf(stderr, "smoke: served plan did not verify\n");
+    rc = 1;
+  }
+
+  if (!client.shutdown()) {
+    std::fprintf(stderr, "smoke: shutdown handshake failed\n");
+    rc = rc == 0 ? 1 : rc;
+  }
+  const int exit_code = service::wait_process(pid);
+  if (exit_code != 0) {
+    std::fprintf(stderr, "smoke: daemon exited %d, want 0\n", exit_code);
+    rc = rc == 0 ? 1 : rc;
+  }
+  if (rc == 0)
+    std::printf(
+        "smoke: ok (served == in-process, %d model CNOTs, verified, clean "
+        "shutdown)\n",
+        served->response.outcomes[0].model_cnots);
+  return rc;
+}
+
+int cmd_compile(service::CompileClient& client, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "femto-client: cannot open %s\n", path.c_str());
+    return 2;
+  }
+  core::CompileRequest request;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::string err;
+    const auto v = service::json::parse(line, &err);
+    core::CompileScenario s;
+    if (!v.has_value() || !service::protocol::decode_scenario(*v, s, err)) {
+      std::fprintf(stderr, "femto-client: %s:%zu: %s\n", path.c_str(),
+                   line_no, err.c_str());
+      return 2;
+    }
+    request.scenarios.push_back(std::move(s));
+  }
+  if (request.scenarios.empty()) {
+    std::fprintf(stderr, "femto-client: %s has no scenarios\n", path.c_str());
+    return 2;
+  }
+  std::string err;
+  const auto served = client.compile(request, "cli-1", err);
+  if (!served.has_value()) {
+    std::fprintf(stderr, "femto-client: %s\n", err.c_str());
+    return 1;
+  }
+  std::printf("state %s%s\n", to_string(served->state),
+              served->coalesced ? " (coalesced)" : "");
+  for (const auto& o : served->response.outcomes)
+    std::printf("  %-16s model CNOTs %-5d device cost %d\n",
+                o.scenario.c_str(), o.model_cnots, o.device_cost);
+  return served->state == service::RequestState::kDone ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path, smoke_path, command, operand;
+  bool cancel = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--socket") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      socket_path = v;
+    } else if (arg == "--smoke") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      smoke_path = v;
+    } else if (arg == "--cancel") {
+      cancel = true;
+    } else if (command.empty()) {
+      command = arg;
+    } else if (operand.empty()) {
+      operand = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (!smoke_path.empty()) return cmd_smoke(smoke_path);
+  if (socket_path.empty() || command.empty()) return usage();
+
+  auto conn = service::wait_for_server(socket_path, /*timeout_ms=*/2000);
+  if (!conn.has_value()) {
+    std::fprintf(stderr, "femto-client: cannot connect to %s\n",
+                 socket_path.c_str());
+    return 2;
+  }
+  service::CompileClient client(std::move(*conn));
+  if (command == "ping") {
+    if (!client.ping()) {
+      std::fprintf(stderr, "femto-client: ping failed\n");
+      return 1;
+    }
+    std::printf("pong\n");
+    return 0;
+  }
+  if (command == "stats") {
+    const auto stats = client.stats();
+    if (!stats.has_value()) {
+      std::fprintf(stderr, "femto-client: stats failed\n");
+      return 1;
+    }
+    std::printf("%s\n", stats->encode().c_str());
+    return 0;
+  }
+  if (command == "shutdown") {
+    if (!client.shutdown(cancel)) {
+      std::fprintf(stderr, "femto-client: shutdown failed\n");
+      return 1;
+    }
+    std::printf("shutting down (%s)\n", cancel ? "cancel" : "graceful");
+    return 0;
+  }
+  if (command == "compile" && !operand.empty())
+    return cmd_compile(client, operand);
+  return usage();
+}

@@ -17,17 +17,25 @@
 //       compares gate-for-gate with the stored circuit -- the database's
 //       bit-identity contract, checked exhaustively. Exit 1 on any mismatch.
 //
+//   femto-db export-scenarios <suite> <out.jsonl>
+//       Writes a suite as canonical protocol scenario JSON, one per line --
+//       the SAME encoding femtod speaks on the wire (service/protocol.hpp),
+//       so exported files are build inputs here and compile requests there.
+//
 // Exit codes: 0 ok, 1 verification failure, 2 usage / IO / format error.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "bench_fixtures.hpp"
 #include "core/pipeline.hpp"
 #include "db/database.hpp"
+#include "service/protocol.hpp"
 
 namespace {
 
@@ -36,59 +44,44 @@ using namespace femto;
 int usage() {
   std::fprintf(stderr,
                "usage: femto-db build <out.fdb> [--suite small|table1] "
+               "[--scenarios <file.jsonl>] "
                "[--append <old.fdb>] [--workers N] [--restarts N]\n"
                "       femto-db info <db.fdb>\n"
-               "       femto-db verify <db.fdb>\n");
+               "       femto-db verify <db.fdb>\n"
+               "       femto-db export-scenarios <suite> <out.jsonl>\n");
   return 2;
 }
 
-/// The compile scenarios whose segments the database records: Table-1
-/// columns at the bench fixtures' solver budgets, with circuits emitted
-/// (counting-only compiles synthesize nothing worth persisting).
-std::vector<core::CompileScenario> make_suite(const std::string& suite) {
-  struct Entry {
-    std::string label;
-    chem::Molecule mol;
-    std::size_t ne;
-  };
-  std::vector<Entry> entries;
-  std::vector<std::string> columns;
-  if (suite == "small") {
-    entries = {{"HF", chem::make_hf(), 3},
-               {"LiH", chem::make_lih(), 3},
-               {"H2O(4)", chem::make_h2o(), 4},
-               {"H2O(5)", chem::make_h2o(), 5},
-               {"H2O(6)", chem::make_h2o(), 6}};
-    columns = {"Adv"};
-  } else if (suite == "table1") {
-    entries = {{"HF", chem::make_hf(), 3},
-               {"LiH", chem::make_lih(), 3},
-               {"BeH2", chem::make_beh2(), 9}};
-    for (std::size_t ne : {4, 5, 6, 8, 9, 11, 12, 14, 16, 17})
-      entries.push_back({"H2O(" + std::to_string(ne) + ")",
-                         chem::make_h2o(), ne});
-    columns = {"JW", "BK", "GT", "Adv"};
-  } else {
+/// Reads one canonical protocol scenario per line (the femtod wire
+/// encoding, produced by export-scenarios or any protocol client).
+std::vector<core::CompileScenario> load_scenarios(const std::string& path,
+                                                  std::string& err) {
+  std::ifstream in(path);
+  if (!in) {
+    err = "cannot open scenario file: " + path;
     return {};
   }
   std::vector<core::CompileScenario> scenarios;
-  for (const Entry& e : entries) {
-    const bench::TermFixture f = bench::molecule_fixture(e.mol, e.ne);
-    for (const std::string& column : columns) {
-      core::CompileScenario s;
-      s.name = e.label + "/" + column;
-      s.num_qubits = f.n;
-      s.terms = f.terms;
-      s.options = bench::table1_column_options(column, f.terms.size());
-      s.options.emit_circuit = true;  // persist real artifacts, not counts
-      scenarios.push_back(std::move(s));
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::string parse_err;
+    const auto v = service::json::parse(line, &parse_err);
+    core::CompileScenario s;
+    if (!v.has_value() ||
+        !service::protocol::decode_scenario(*v, s, parse_err)) {
+      err = path + ":" + std::to_string(line_no) + ": " + parse_err;
+      return {};
     }
+    scenarios.push_back(std::move(s));
   }
   return scenarios;
 }
 
 int cmd_build(int argc, char** argv) {
-  std::string out_path, suite = "small", append_path;
+  std::string out_path, suite = "small", append_path, scenario_path;
   std::size_t workers = 0, restarts = 1;
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -99,6 +92,10 @@ int cmd_build(int argc, char** argv) {
       const char* v = value();
       if (v == nullptr) return usage();
       suite = v;
+    } else if (arg == "--scenarios") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      scenario_path = v;
     } else if (arg == "--append") {
       const char* v = value();
       if (v == nullptr) return usage();
@@ -132,10 +129,21 @@ int cmd_build(int argc, char** argv) {
                 append_path.c_str());
   }
 
-  const std::vector<core::CompileScenario> scenarios = make_suite(suite);
-  if (scenarios.empty()) {
-    std::fprintf(stderr, "femto-db: unknown suite '%s'\n", suite.c_str());
-    return usage();
+  std::vector<core::CompileScenario> scenarios;
+  if (!scenario_path.empty()) {
+    std::string err;
+    scenarios = load_scenarios(scenario_path, err);
+    if (scenarios.empty()) {
+      std::fprintf(stderr, "femto-db: %s\n",
+                   err.empty() ? "scenario file is empty" : err.c_str());
+      return 2;
+    }
+  } else {
+    scenarios = bench::suite_scenarios(suite);
+    if (scenarios.empty()) {
+      std::fprintf(stderr, "femto-db: unknown suite '%s'\n", suite.c_str());
+      return usage();
+    }
   }
   core::PipelineOptions popt;
   popt.workers = workers;
@@ -238,6 +246,26 @@ int cmd_verify(const char* path) {
   return 0;
 }
 
+int cmd_export_scenarios(const char* suite, const char* out_path) {
+  const std::vector<core::CompileScenario> scenarios =
+      bench::suite_scenarios(suite);
+  if (scenarios.empty()) {
+    std::fprintf(stderr, "femto-db: unknown suite '%s'\n", suite);
+    return usage();
+  }
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "femto-db: cannot write %s\n", out_path);
+    return 2;
+  }
+  for (const core::CompileScenario& s : scenarios)
+    out << service::protocol::encode_scenario(s).encode() << '\n';
+  out.close();
+  std::printf("wrote %zu canonical scenarios to %s\n", scenarios.size(),
+              out_path);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -246,5 +274,7 @@ int main(int argc, char** argv) {
   if (cmd == "build") return cmd_build(argc - 2, argv + 2);
   if (cmd == "info") return cmd_info(argv[2]);
   if (cmd == "verify") return cmd_verify(argv[2]);
+  if (cmd == "export-scenarios" && argc >= 4)
+    return cmd_export_scenarios(argv[2], argv[3]);
   return usage();
 }

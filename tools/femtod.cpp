@@ -1,0 +1,131 @@
+// femtod: the long-running compilation service daemon.
+//
+// Boots one shared CompilePipeline (one SynthesisCache, optionally backed
+// by a persistent database as read-through L2), binds an AF_UNIX socket,
+// and serves the JSON-line protocol of src/service/server.hpp: compile
+// requests stream in, lifecycle-tracked tickets stream results back, and
+// identical in-flight requests coalesce onto one execution.
+//
+//   femtod --socket <path> [--workers N] [--max-queue N] [--db <path.fdb>]
+//          [--default-deadline S] [--log]
+//
+// Prints "femtod: serving on <path>" once the socket accepts connections
+// (drivers wait for the line OR poll-connect the socket). Shuts down on
+// the protocol's shutdown op or on SIGTERM/SIGINT, draining gracefully:
+// in-flight and queued work finishes, then the socket is torn down and a
+// final stats line is printed. Exit 0 on a clean drain, 2 on usage/setup
+// errors.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "db/database.hpp"
+#include "service/server.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void on_signal(int) { g_stop = 1; }
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: femtod --socket <path> [--workers N] [--max-queue N] "
+               "[--db <path.fdb>] [--default-deadline S] [--log]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace femto;
+
+  std::string socket_path, db_path;
+  service::ServiceOptions service_options;
+  bool log = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--socket") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      socket_path = v;
+    } else if (arg == "--workers") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      service_options.pipeline.workers =
+          static_cast<std::size_t>(std::atol(v));
+    } else if (arg == "--max-queue") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      service_options.max_queue = static_cast<std::size_t>(std::atol(v));
+    } else if (arg == "--db") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      db_path = v;
+    } else if (arg == "--default-deadline") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      service_options.default_deadline_s = std::atof(v);
+    } else if (arg == "--log") {
+      log = true;
+    } else {
+      return usage();
+    }
+  }
+  if (socket_path.empty() || service_options.max_queue == 0) return usage();
+  service_options.log = log;
+  // Per-request knobs (restarts, verify, seed) arrive on the wire; the
+  // pipeline-level defaults only matter for the adapter API, not femtod.
+  service_options.pipeline.restarts = 1;
+
+  if (!db_path.empty()) {
+    // Validate up front for a clean exit code; the pipeline re-opens it
+    // (and would abort on failure, which a daemon should never do on argv).
+    std::string err;
+    if (!db::Database::open(db_path, &err).has_value()) {
+      std::fprintf(stderr, "femtod: %s\n", err.c_str());
+      return 2;
+    }
+    service_options.pipeline.database_path = db_path;
+  }
+
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  service::SocketServer server({.socket_path = socket_path,
+                                .service = service_options,
+                                .log = log});
+  if (const std::string err = server.start(); !err.empty()) {
+    std::fprintf(stderr, "femtod: %s\n", err.c_str());
+    return 2;
+  }
+  std::printf("femtod: serving on %s (workers %zu, queue %zu%s)\n",
+              socket_path.c_str(),
+              server.service().pipeline().worker_count(),
+              service_options.max_queue,
+              db_path.empty() ? "" : ", db attached");
+  std::fflush(stdout);
+
+  server.run([] { return g_stop != 0; });
+
+  const service::ServiceStats stats = server.service().stats();
+  std::printf(
+      "femtod: drained; submitted %llu (coalesced %llu) -> done %llu, "
+      "cancelled %llu, deadline %llu, rejected %llu; %llu works run, "
+      "%llu plans served\n",
+      static_cast<unsigned long long>(stats.submitted),
+      static_cast<unsigned long long>(stats.coalesced),
+      static_cast<unsigned long long>(stats.done),
+      static_cast<unsigned long long>(stats.cancelled),
+      static_cast<unsigned long long>(stats.deadline_exceeded),
+      static_cast<unsigned long long>(stats.rejected),
+      static_cast<unsigned long long>(stats.works_run),
+      static_cast<unsigned long long>(stats.plans_served));
+  return 0;
+}
