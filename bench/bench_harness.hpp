@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <string>
 #include <utility>
@@ -34,6 +35,8 @@ struct Section {
   double median_s = 0.0;
   double min_s = 0.0;
   double max_s = 0.0;
+  double mean_s = 0.0;
+  double stddev_s = 0.0;  // population stddev over the repeats; 0 for k=1
   int repeats = 0;
   std::vector<std::pair<std::string, double>> metrics;
 };
@@ -57,6 +60,12 @@ class Harness {
     s.min_s = times.front();
     s.max_s = times.back();
     s.median_s = times[times.size() / 2];
+    double sum = 0.0;
+    for (const double t : times) sum += t;
+    s.mean_s = sum / static_cast<double>(times.size());
+    double var = 0.0;
+    for (const double t : times) var += (t - s.mean_s) * (t - s.mean_s);
+    s.stddev_s = std::sqrt(var / static_cast<double>(times.size()));
     std::printf("[bench] %-40s median %10.3f ms  (min %.3f, max %.3f, k=%d)\n",
                 name.c_str(), s.median_s * 1e3, s.min_s * 1e3, s.max_s * 1e3,
                 repeats);
@@ -101,8 +110,10 @@ class Harness {
       if (s.repeats > 0)
         std::fprintf(f,
                      "    {\"name\": \"%s\", \"median_s\": %.9g, \"min_s\": "
-                     "%.9g, \"max_s\": %.9g, \"repeats\": %d",
-                     s.name.c_str(), s.median_s, s.min_s, s.max_s, s.repeats);
+                     "%.9g, \"max_s\": %.9g, \"mean_s\": %.9g, \"stddev_s\": "
+                     "%.9g, \"repeats\": %d",
+                     s.name.c_str(), s.median_s, s.min_s, s.max_s, s.mean_s,
+                     s.stddev_s, s.repeats);
       else
         std::fprintf(f, "    {\"name\": \"%s\", \"repeats\": 0", s.name.c_str());
       if (!s.metrics.empty()) {

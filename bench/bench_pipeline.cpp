@@ -25,6 +25,9 @@
 #include "bench_harness.hpp"
 
 #include "core/pipeline.hpp"
+#include "obs/trace.hpp"
+#include "service/json.hpp"
+#include "service/protocol.hpp"
 
 namespace {
 
@@ -139,6 +142,67 @@ int main() {
     std::printf("\n# E7d synthesis cache over %zu restarts: %zu hits, %zu "
                 "misses\n",
                 kRestarts, stats.hits, stats.misses);
+  }
+
+  // E7e: tracing overhead + contracts (the obs/ subsystem's CI gate).
+  // The same seeded 2-restart compile runs untraced and traced; tracing
+  // must (a) cost <= ~10% wall time (trace_overhead_ratio floor 0.9,
+  // min-of-k so scheduler noise on loaded CI boxes does not flake the
+  // gate), (b) export parseable Chrome trace-event JSON with events in it
+  // (trace_valid_json), and (c) leave the canonical compile response
+  // byte-identical (trace_bit_identical) -- tracing observes, never steers.
+  {
+    core::CompileRequest request;
+    core::CompileScenario s;
+    s.name = "trace-bench";
+    s.num_qubits = f.n;
+    s.terms = f.terms;
+    s.options = sweep_options();
+    s.options.emit_circuit = true;
+    request.scenarios = {std::move(s)};
+    request.restarts = 2;
+    request.seed = 20230306;
+    const auto canonical_compile = [&] {
+      core::CompilePipeline pipeline({.workers = 0, .restarts = 1});
+      const core::CompileResponse resp = pipeline.compile(request);
+      return service::protocol::encode_response(
+                 service::protocol::summarize(resp, /*include_circuits=*/true))
+          .encode();
+    };
+
+    std::string off_canonical;
+    h.run("pipeline/trace_off", 5, [&] { off_canonical = canonical_compile(); });
+    const double t_off_min = h.sections().back().min_s;
+
+    obs::Tracer tracer;
+    obs::Tracer::set_active(&tracer);
+    std::string on_canonical;
+    h.run("pipeline/trace_on", 5, [&] { on_canonical = canonical_compile(); });
+    obs::Tracer::set_active(nullptr);
+    const double t_on_min = h.sections().back().min_s;
+
+    const std::string trace_json = tracer.to_json();
+    std::string parse_err;
+    const auto parsed = service::json::parse(trace_json, &parse_err);
+    const service::json::Value* events =
+        parsed.has_value() ? parsed->find("traceEvents") : nullptr;
+    const bool valid_json = events != nullptr && events->is_array() &&
+                            !events->items().empty();
+    if (!valid_json)
+      std::fprintf(stderr, "trace JSON invalid: %s\n", parse_err.c_str());
+
+    h.section("pipeline/trace_overhead");
+    h.metric("trace_overhead_ratio", t_off_min / t_on_min);
+    h.metric("trace_valid_json", valid_json ? 1.0 : 0.0);
+    h.metric("trace_bit_identical",
+             off_canonical == on_canonical && !off_canonical.empty() ? 1.0
+                                                                     : 0.0);
+    h.metric("info_trace_events", static_cast<double>(tracer.event_count()));
+    std::printf("\n# E7e tracing: overhead ratio %.3f (untraced %.3f ms / "
+                "traced %.3f ms), %zu events, json %s, bit-identical %s\n",
+                t_off_min / t_on_min, t_off_min * 1e3, t_on_min * 1e3,
+                tracer.event_count(), valid_json ? "valid" : "INVALID",
+                off_canonical == on_canonical ? "yes" : "NO");
   }
 
   return h.write_json() ? 0 : 1;

@@ -46,6 +46,7 @@
 #include "core/sorting.hpp"
 #include "encoding/compressed_ops.hpp"
 #include "encoding/hybrid_plan.hpp"
+#include "obs/trace.hpp"
 #include "synth/pauli_exponential.hpp"
 #include "synth/synthesis_cache.hpp"
 #include "synth/target.hpp"
@@ -727,9 +728,19 @@ inline void stage_emit(StageContext& ctx, CompileResult& result, Rng& rng) {
   ctx.n = n;
   ctx.terms = &terms;
   ctx.options = &options;
-  detail::stage_plan(ctx, result, rng);
-  detail::stage_transform(ctx, result, rng);
-  detail::stage_emit(ctx, result, rng);
+  {
+    obs::Span span("stage_plan", "compile");
+    detail::stage_plan(ctx, result, rng);
+  }
+  {
+    obs::Span span("stage_transform", "compile");
+    detail::stage_transform(ctx, result, rng);
+  }
+  {
+    obs::Span span("stage_emit", "compile");
+    span.arg("terms", terms.size());
+    detail::stage_emit(ctx, result, rng);
+  }
   return result;
 }
 

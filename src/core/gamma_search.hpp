@@ -24,6 +24,8 @@
 #include "fermion/excitation.hpp"
 #include "gf2/matrix.hpp"
 #include "graph/digraph.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "opt/binary_pso.hpp"
 #include "opt/simulated_annealing.hpp"
 
@@ -324,6 +326,15 @@ class GammaObjective {
     GammaObjective& objective, Rng& rng, const opt::SaOptions& options = {}) {
   FEMTO_EXPECTS(options.steps > 0);
   FEMTO_EXPECTS(options.t_initial > 0 && options.t_final > 0);
+  // Coarse solver observability: ONE span per SA solve (never per step) so
+  // tracing cost stays negligible next to the Metropolis loop itself.
+  obs::Span span("gamma_sa", "solver");
+  span.arg("steps", options.steps);
+  span.arg("blocks", blocks.size());
+  static obs::Counter& solves = obs::registry().counter("solver.sa_solves");
+  static obs::Counter& steps = obs::registry().counter("solver.sa_steps");
+  solves.inc();
+  steps.inc(static_cast<std::uint64_t>(options.steps));
   objective.reset(gf2::Matrix::identity(n));
   double current_energy = objective.energy();
   gf2::Matrix best_gamma = objective.gamma();

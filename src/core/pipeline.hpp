@@ -53,6 +53,8 @@
 #include "common/parallel.hpp"
 #include "core/compiler.hpp"
 #include "db/database.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "opt/restart.hpp"
 #include "verify/equivalence.hpp"
 
@@ -301,6 +303,10 @@ class CompilePipeline {
   /// requests return kRejected with a diagnostic -- compile() never aborts
   /// on request content, so a serving daemon survives any wire input.
   [[nodiscard]] CompileResponse compile(const CompileRequest& request) {
+    obs::Span span("compile_request", "pipeline");
+    static obs::Counter& compiles =
+        obs::registry().counter("pipeline.compiles");
+    compiles.inc();
     CompileResponse out;
     if (std::string err = validate_request(request); !err.empty()) {
       out.status = RequestStatus::kRejected;
@@ -311,6 +317,9 @@ class CompilePipeline {
     const std::size_t S = request.scenarios.size();
     const std::size_t T = request.targets.empty() ? 1 : request.targets.size();
     const std::size_t R = request.restarts;
+    span.arg("scenarios", S);
+    span.arg("targets", T);
+    span.arg("restarts", R);
 
     // Expand the (scenario x target) grid into per-cell base options, then
     // fan each cell out into restart jobs on derived seed streams.
@@ -325,7 +334,7 @@ class CompilePipeline {
         if (request.seed.has_value()) base.seed = *request.seed;
         expanded[i * T + t] = base;
         for (std::size_t r = 0; r < R; ++r) {
-          Job job{s.num_qubits, &s.terms, base};
+          Job job{s.num_qubits, &s.terms, base, &s.name, r};
           job.options.seed = opt::restart_seed(base.seed, r);
           jobs.push_back(std::move(job));
         }
@@ -468,6 +477,9 @@ class CompilePipeline {
     std::size_t num_qubits = 0;
     const std::vector<fermion::ExcitationTerm>* terms = nullptr;
     CompileOptions options;
+    /// Trace-span labels only; never read by the compiler itself.
+    const std::string* scenario_name = nullptr;
+    std::size_t restart = 0;
   };
 
   /// The adapters promise complete results; anything else is a programming
@@ -495,21 +507,34 @@ class CompilePipeline {
     last_verification_.clear();
     if (verify) last_verification_.resize(jobs.size());
     const verify::EquivalenceChecker checker(options_.verify_options);
+    static obs::Counter& restarts_completed =
+        obs::registry().counter("pipeline.restarts_completed");
+    static obs::Counter& restarts_skipped =
+        obs::registry().counter("pipeline.restarts_skipped");
     pool_.parallel_for(jobs.size(), [&](std::size_t i) {
       if ((cancel != nullptr && cancel->load(std::memory_order_relaxed)) ||
           std::chrono::steady_clock::now() > deadline) {
         completed[i] = 0;
+        restarts_skipped.inc();
         if (verify)
           last_verification_[i].detail =
               "not verified: restart job skipped (cancelled or deadline "
               "exceeded)";
         return;
       }
+      obs::Span span("restart", "pipeline");
+      span.arg("restart", jobs[i].restart);
+      if (jobs[i].scenario_name != nullptr)
+        span.arg("scenario", *jobs[i].scenario_name);
+      span.arg("target", jobs[i].options.target.name);
       CompileOptions options = jobs[i].options;
       if (options_.share_synthesis_cache && options.emit_circuit)
         options.synthesis_cache = &cache_;
       results[i] = compile_vqe(jobs[i].num_qubits, *jobs[i].terms, options);
+      restarts_completed.inc();
       if (verify) {
+        obs::Span vspan("verify", "pipeline");
+        vspan.arg("restart", jobs[i].restart);
         if (options.emit_circuit) {
           // Certify the final artifact: on non-default targets that is the
           // lowered/routed circuit, so the routing pass and native-gate

@@ -66,6 +66,7 @@
 #endif
 
 #include "db/canonical.hpp"
+#include "obs/metrics.hpp"
 #include "synth/synthesis_cache.hpp"
 
 namespace femto::db {
@@ -300,6 +301,10 @@ class Database final : public synth::SynthesisStore {
   /// Binary search by key hash, full-key compare, circuit decode.
   [[nodiscard]] std::optional<circuit::QuantumCircuit> lookup(
       std::string_view key) const {
+    static obs::Counter& lookups = obs::registry().counter("db.lookups");
+    static obs::Counter& db_hits = obs::registry().counter("db.hits");
+    static obs::Counter& db_misses = obs::registry().counter("db.misses");
+    lookups.inc();
     const std::uint64_t hash = fnv1a(key);
     std::size_t lo = 0, hi = entries_.size();
     while (lo < hi) {
@@ -311,10 +316,12 @@ class Database final : public synth::SynthesisStore {
     }
     for (; lo < entries_.size() && entries_[lo].key_hash == hash; ++lo) {
       if (this->key(lo) != key) continue;
+      db_hits.inc();
       return detail::decode_circuit(
           map_->data + values_.offset + entries_[lo].value_off,
           entries_[lo].value_len);
     }
+    db_misses.inc();
     return std::nullopt;
   }
 

@@ -1,0 +1,278 @@
+// Span-based tracing with a Chrome trace-event JSON exporter.
+//
+// The design goal is a tracer whose DISABLED cost is genuinely zero on the
+// compile hot path: constructing a Span when no tracer is active is one
+// relaxed atomic load -- no clock read, no allocation, no branch beyond the
+// null check. Enabling tracing is a runtime switch (Tracer::set_active), so
+// one binary serves both the instrumented daemon and the untraced benches,
+// and CI pins the enabled overhead (bench_pipeline trace_overhead_ratio).
+//
+// Concurrency model: every thread appends completed spans to its OWN
+// buffer, acquired once per (thread, tracer) pair and cached in a
+// thread_local slot keyed by the tracer's globally unique id -- so the
+// steady-state record path is entirely uncontended (the registration lock
+// is taken once per thread per tracer). Export (to_json) must only run at a
+// quiescent point: after the pool work whose spans it collects has joined
+// (CompilePipeline::compile returning, or the service scheduler between
+// works, both of which are synchronization points for their worker
+// threads). That restriction is what lets the record path stay lock-free.
+//
+// Exported JSON is the Chrome trace-event format: an object with a
+// "traceEvents" array of complete ("ph":"X") events, timestamps in
+// microseconds relative to the tracer's epoch. Load the file directly in
+// Perfetto (https://ui.perfetto.dev) or chrome://tracing.
+//
+// This header depends only on the standard library so every layer (core,
+// synth, db, service) can include it without cycles.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace femto::obs {
+
+/// One completed span or instant, ready for export. Only built when a
+/// tracer is active; the disabled path never constructs one.
+struct TraceEvent {
+  std::string name;
+  const char* cat = "";
+  std::int64_t ts_us = 0;   // start, microseconds since tracer epoch
+  std::int64_t dur_us = 0;  // duration in microseconds
+  std::uint32_t tid = 0;    // per-tracer thread registration index
+  /// String-valued and integer-valued span args, kept separate so export
+  /// needs no variant machinery.
+  std::vector<std::pair<std::string, std::string>> sargs;
+  std::vector<std::pair<std::string, std::int64_t>> iargs;
+};
+
+class Tracer {
+ public:
+  using clock = std::chrono::steady_clock;
+
+  /// Epoch defaults to construction time; pass an earlier point (e.g. a
+  /// request's submit time) so pre-run phases keep non-negative timestamps.
+  explicit Tracer(clock::time_point epoch = clock::now())
+      : id_(next_id().fetch_add(1, std::memory_order_relaxed) + 1),
+        epoch_(epoch) {}
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// The process-wide active tracer (nullptr = tracing disabled). The
+  /// record path reads this with ONE relaxed load; see file comment.
+  [[nodiscard]] static Tracer* active() {
+    return active_ptr().load(std::memory_order_relaxed);
+  }
+
+  /// Installs (or, with nullptr, removes) the active tracer. Not a
+  /// synchronization point: switch tracers only when no instrumented work
+  /// is in flight (the service scheduler runs works serially, so between
+  /// works is safe).
+  static void set_active(Tracer* tracer) {
+    active_ptr().store(tracer, std::memory_order_release);
+  }
+
+  [[nodiscard]] clock::time_point epoch() const { return epoch_; }
+
+  [[nodiscard]] std::int64_t since_epoch_us(clock::time_point t) const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(t - epoch_)
+        .count();
+  }
+
+  /// Appends a completed event with EXPLICIT timestamps to the calling
+  /// thread's buffer -- how cross-thread phases (queue wait measured by the
+  /// scheduler from the recorded submit time) enter the trace.
+  void emit_complete(TraceEvent event, clock::time_point start,
+                     clock::time_point end) {
+    event.ts_us = since_epoch_us(start);
+    event.dur_us = since_epoch_us(end) - event.ts_us;
+    append(std::move(event));
+  }
+
+  /// Appends a pre-stamped event to the calling thread's buffer.
+  void append(TraceEvent event) {
+    Buffer* buf = buffer_for_this_thread();
+    event.tid = buf->tid;
+    buf->events.push_back(std::move(event));
+  }
+
+  /// Total events recorded so far (quiescent points only; see file
+  /// comment).
+  [[nodiscard]] std::size_t event_count() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t n = 0;
+    for (const std::unique_ptr<Buffer>& b : buffers_) n += b->events.size();
+    return n;
+  }
+
+  /// Chrome trace-event JSON of everything recorded. Only call at a
+  /// quiescent point (all span-emitting work joined).
+  [[nodiscard]] std::string to_json() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::string out = "{\"traceEvents\":[";
+    bool first = true;
+    for (const std::unique_ptr<Buffer>& buf : buffers_) {
+      for (const TraceEvent& e : buf->events) {
+        if (!first) out += ',';
+        first = false;
+        out += "{\"name\":";
+        append_json_string(out, e.name);
+        out += ",\"cat\":";
+        append_json_string(out, e.cat);
+        out += ",\"ph\":\"X\",\"ts\":";
+        out += std::to_string(e.ts_us);
+        out += ",\"dur\":";
+        out += std::to_string(e.dur_us);
+        out += ",\"pid\":1,\"tid\":";
+        out += std::to_string(e.tid);
+        if (!e.sargs.empty() || !e.iargs.empty()) {
+          out += ",\"args\":{";
+          bool first_arg = true;
+          for (const auto& [k, v] : e.sargs) {
+            if (!first_arg) out += ',';
+            first_arg = false;
+            append_json_string(out, k);
+            out += ':';
+            append_json_string(out, v);
+          }
+          for (const auto& [k, v] : e.iargs) {
+            if (!first_arg) out += ',';
+            first_arg = false;
+            append_json_string(out, k);
+            out += ':';
+            out += std::to_string(v);
+          }
+          out += '}';
+        }
+        out += '}';
+      }
+    }
+    out += "]}";
+    return out;
+  }
+
+ private:
+  friend class Span;
+
+  struct Buffer {
+    std::uint32_t tid = 0;
+    std::vector<TraceEvent> events;
+  };
+
+  /// The per-(thread, tracer) buffer, cached in a thread_local slot keyed
+  /// by the tracer's unique id so a stale pointer from a destroyed tracer
+  /// (even one reallocated at the same address) can never be dereferenced.
+  [[nodiscard]] Buffer* buffer_for_this_thread() {
+    struct TlsSlot {
+      std::uint64_t tracer_id = 0;
+      Buffer* buffer = nullptr;
+    };
+    thread_local TlsSlot slot;
+    if (slot.tracer_id != id_) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      buffers_.push_back(std::make_unique<Buffer>());
+      buffers_.back()->tid = static_cast<std::uint32_t>(buffers_.size() - 1);
+      slot = {id_, buffers_.back().get()};
+    }
+    return slot.buffer;
+  }
+
+  static void append_json_string(std::string& out, std::string_view s) {
+    out += '"';
+    for (const char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char hex[8];
+            std::snprintf(hex, sizeof hex, "\\u%04x",
+                          static_cast<unsigned>(c) & 0xff);
+            out += hex;
+          } else {
+            out += c;
+          }
+      }
+    }
+    out += '"';
+  }
+
+  [[nodiscard]] static std::atomic<Tracer*>& active_ptr() {
+    static std::atomic<Tracer*> p{nullptr};
+    return p;
+  }
+  [[nodiscard]] static std::atomic<std::uint64_t>& next_id() {
+    static std::atomic<std::uint64_t> n{0};
+    return n;
+  }
+
+  const std::uint64_t id_;
+  const clock::time_point epoch_;
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Buffer>> buffers_;  // pointer-stable
+};
+
+/// RAII span: records a complete trace event from construction to
+/// destruction on the tracer active AT CONSTRUCTION. When tracing is
+/// disabled the constructor is one relaxed load and every other member
+/// function is a no-op -- no clock reads, no allocations (the zero-cost
+/// contract tests/test_obs.cpp pins with an allocation-counting
+/// operator new).
+class Span {
+ public:
+  Span(const char* name, const char* cat)
+      : tracer_(Tracer::active()), name_(name), cat_(cat) {
+    if (tracer_ != nullptr) start_ = Tracer::clock::now();
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  ~Span() {
+    if (tracer_ == nullptr) return;
+    TraceEvent e;
+    e.name = name_;
+    e.cat = cat_;
+    e.sargs = std::move(sargs_);
+    e.iargs = std::move(iargs_);
+    tracer_->emit_complete(std::move(e), start_, Tracer::clock::now());
+  }
+
+  /// True when this span is recording (a tracer was active at
+  /// construction).
+  [[nodiscard]] bool enabled() const { return tracer_ != nullptr; }
+
+  void arg(const char* key, std::string_view value) {
+    if (tracer_ != nullptr) sargs_.emplace_back(key, std::string(value));
+  }
+  void arg(const char* key, std::int64_t value) {
+    if (tracer_ != nullptr) iargs_.emplace_back(key, value);
+  }
+  void arg(const char* key, std::size_t value) {
+    arg(key, static_cast<std::int64_t>(value));
+  }
+  void arg(const char* key, int value) {
+    arg(key, static_cast<std::int64_t>(value));
+  }
+
+ private:
+  Tracer* const tracer_;
+  const char* const name_;
+  const char* const cat_;
+  Tracer::clock::time_point start_{};
+  std::vector<std::pair<std::string, std::string>> sargs_;
+  std::vector<std::pair<std::string, std::int64_t>> iargs_;
+};
+
+}  // namespace femto::obs

@@ -33,6 +33,8 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "opt/restart.hpp"
 
 namespace femto::opt {
@@ -491,6 +493,20 @@ inline void greedy_seed_into(const GtspDense& inst, std::size_t start,
   const std::size_t m = inst.clusters.size();
   GtspSolution best;
   if (m == 0) return best;
+  // Coarse solver observability: ONE span per GA solve (never per
+  // generation), so tracing stays cheap even when sorting calls this per
+  // segment.
+  obs::Span span("gtsp_ga", "solver");
+  span.arg("clusters", m);
+  span.arg("generations", options.generations);
+  span.arg("population", options.population);
+  static obs::Counter& solves =
+      obs::registry().counter("solver.gtsp_solves");
+  static obs::Counter& generations =
+      obs::registry().counter("solver.gtsp_generations");
+  solves.inc();
+  generations.inc(static_cast<std::uint64_t>(
+      options.generations > 0 ? options.generations : 0));
   for (const auto& c : inst.clusters) FEMTO_EXPECTS(!c.empty());
   GtspWorkspace local;
   GtspWorkspace& ws = workspace != nullptr ? *workspace : local;

@@ -191,12 +191,45 @@ class CompileClient {
 
   /// Raw stats object, or nullopt on transport/parse failure.
   [[nodiscard]] std::optional<json::Value> stats(int timeout_ms = 5000) {
-    if (!conn_.send_line(R"({"op":"stats"})")) return std::nullopt;
-    const std::optional<std::string> line = conn_.recv_line(timeout_ms);
-    if (!line.has_value()) return std::nullopt;
-    std::optional<json::Value> msg = json::parse(*line);
-    if (!msg.has_value() || !msg->is_object()) return std::nullopt;
+    return simple_op("stats", timeout_ms);
+  }
+
+  /// Full metrics-registry export ({"counters":…,"gauges":…,
+  /// "histograms":…} envelope), or nullopt on transport/parse failure or a
+  /// server-side error.
+  [[nodiscard]] std::optional<json::Value> metrics(int timeout_ms = 5000) {
+    std::optional<json::Value> msg = simple_op("metrics", timeout_ms);
+    if (!msg.has_value()) return std::nullopt;
+    const json::Value* ok = msg->find("ok");
+    if (ok == nullptr || !ok->is_bool() || !ok->as_bool())
+      return std::nullopt;
     return msg;
+  }
+
+  /// The last completed request's Chrome trace-event object (the "trace"
+  /// field of the reply), or nullopt when tracing is disabled, nothing has
+  /// completed yet, or transport failed. `error` gets the server
+  /// diagnostic when one arrived.
+  [[nodiscard]] std::optional<json::Value> trace(std::string& error,
+                                                int timeout_ms = 5000) {
+    std::optional<json::Value> msg = simple_op("trace", timeout_ms);
+    if (!msg.has_value()) {
+      error = "transport or parse failure";
+      return std::nullopt;
+    }
+    const json::Value* ok = msg->find("ok");
+    if (ok == nullptr || !ok->is_bool() || !ok->as_bool()) {
+      const json::Value* why = msg->find("error");
+      error = why != nullptr && why->is_string() ? why->as_string()
+                                                 : "trace op failed";
+      return std::nullopt;
+    }
+    const json::Value* trace = msg->find("trace");
+    if (trace == nullptr) {
+      error = "trace reply without 'trace' field";
+      return std::nullopt;
+    }
+    return *trace;
   }
 
   /// Submits one compile and blocks for its result line. The ack and the
@@ -300,6 +333,17 @@ class CompileClient {
   }
 
  private:
+  /// One-line request / one-line object reply ops (stats, metrics, trace).
+  [[nodiscard]] std::optional<json::Value> simple_op(const std::string& op,
+                                                     int timeout_ms) {
+    if (!conn_.send_line("{\"op\":\"" + op + "\"}")) return std::nullopt;
+    const std::optional<std::string> line = conn_.recv_line(timeout_ms);
+    if (!line.has_value()) return std::nullopt;
+    std::optional<json::Value> msg = json::parse(*line);
+    if (!msg.has_value() || !msg->is_object()) return std::nullopt;
+    return msg;
+  }
+
   ClientConnection conn_;
 };
 

@@ -54,6 +54,8 @@
 #include <unistd.h>
 
 #include "core/pipeline.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "service/lifecycle.hpp"
 #include "service/protocol.hpp"
 
@@ -69,6 +71,13 @@ struct ServiceOptions {
   double default_deadline_s = 0.0;
   /// Log admission rejections and lifecycle summaries to stderr.
   bool log = false;
+  /// Capture a per-request span tree (queue wait -> run -> per-restart ->
+  /// per-stage) for every work. The last trace is served by the `trace`
+  /// wire op; with trace_dir set, each trace is also written to
+  /// <trace_dir>/request-<id>.json (Chrome trace-event format, loadable in
+  /// Perfetto). Tracing is enabled iff trace || !trace_dir.empty().
+  bool trace = false;
+  std::string trace_dir;
 };
 
 struct ServiceStats {
@@ -102,6 +111,12 @@ struct Work {
   std::size_t active = 0;  // waiters not yet individually cancelled
   bool queued = false;
   bool running = false;
+  /// Leader ticket id; names the per-request trace file.
+  std::uint64_t work_id = 0;
+  std::chrono::steady_clock::time_point submitted_at{};
+  /// Per-request tracer (null when tracing is off), epoch'd at submit so
+  /// the queue-wait phase has non-negative timestamps.
+  std::shared_ptr<obs::Tracer> tracer;
 };
 
 /// A client's handle on one submitted request: its lifecycle state and,
@@ -145,6 +160,7 @@ class Ticket {
   std::function<void(Ticket&)> on_terminal_;
   std::uint64_t id_ = 0;
   bool coalesced_ = false;
+  std::chrono::steady_clock::time_point submitted_at_{};
 };
 
 class Service {
@@ -177,11 +193,15 @@ class Service {
       std::function<void(Ticket&)> on_terminal = {}) {
     auto ticket = std::make_shared<Ticket>();
     ticket->on_terminal_ = std::move(on_terminal);
+    ticket->submitted_at_ = std::chrono::steady_clock::now();
     std::vector<std::shared_ptr<Ticket>> fire;
     {
       std::lock_guard<std::mutex> g(mu_);
       ticket->id_ = ++next_ticket_id_;
       ++stats_.submitted;
+      metrics_.submitted.inc();
+      ++inflight_tickets_;
+      metrics_.in_flight.add(1);
       if (draining_) {
         reject(ticket, "service is draining: admission stopped", fire);
       } else if (std::string err = core::validate_request(request);
@@ -261,6 +281,7 @@ class Service {
         work->active = 0;
         erase_inflight(work);
       }
+      metrics_.queue_depth.set(0);
     }
     lock.unlock();
     fire_callbacks(fire);
@@ -276,9 +297,25 @@ class Service {
     std::lock_guard<std::mutex> g(mu_);
     return queue_.size();
   }
+  /// Submitted tickets not yet in a terminal state (queued + running +
+  /// coalesced waiters) -- the live-load figure the `stats` op reports so a
+  /// wedged queue is visible, unlike the monotonic counters.
+  [[nodiscard]] std::size_t in_flight() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return inflight_tickets_;
+  }
   [[nodiscard]] ServiceStats stats() const {
     std::lock_guard<std::mutex> g(mu_);
     return stats_;
+  }
+  [[nodiscard]] bool tracing_enabled() const {
+    return options_.trace || !options_.trace_dir.empty();
+  }
+  /// Chrome trace-event JSON of the most recently completed work (empty
+  /// until the first traced work finishes). Served by the `trace` wire op.
+  [[nodiscard]] std::string last_trace() const {
+    std::lock_guard<std::mutex> g(trace_mu_);
+    return last_trace_;
   }
   /// The shared pipeline (one SynthesisCache + optional database L2 across
   /// ALL requests -- the warm-cache serving advantage). Do not compile on
@@ -319,6 +356,7 @@ class Service {
     work->waiters.push_back(ticket);
     ++work->active;
     ++stats_.coalesced;
+    metrics_.coalesced.inc();
     if (work->running) {
       // Catch the lifecycle up to the work it joined.
       std::lock_guard<std::mutex> g(ticket->mu_);
@@ -347,9 +385,14 @@ class Service {
     work->waiters.push_back(ticket);
     work->active = 1;
     work->queued = true;
+    work->work_id = ticket->id_;
+    work->submitted_at = ticket->submitted_at_;
+    if (tracing_enabled())
+      work->tracer = std::make_shared<obs::Tracer>(work->submitted_at);
     ticket->work_ = work;
     inflight_[work->key] = work;
     queue_.push_back(std::move(work));
+    metrics_.queue_depth.set(static_cast<std::int64_t>(queue_.size()));
   }
 
   void drop_queued(const std::shared_ptr<Work>& work) {
@@ -359,6 +402,7 @@ class Service {
         break;
       }
     }
+    metrics_.queue_depth.set(static_cast<std::int64_t>(queue_.size()));
     work->queued = false;
     work->waiters.clear();
     erase_inflight(work);
@@ -389,13 +433,31 @@ class Service {
     switch (to) {
       case RequestState::kDone:
         ++stats_.done;
+        metrics_.done.inc();
         stats_.plans_served += ticket->response()->outcomes.size();
+        metrics_.plans_served.inc(ticket->response()->outcomes.size());
         break;
-      case RequestState::kCancelled: ++stats_.cancelled; break;
-      case RequestState::kDeadlineExceeded: ++stats_.deadline_exceeded; break;
-      case RequestState::kRejected: ++stats_.rejected; break;
+      case RequestState::kCancelled:
+        ++stats_.cancelled;
+        metrics_.cancelled.inc();
+        break;
+      case RequestState::kDeadlineExceeded:
+        ++stats_.deadline_exceeded;
+        metrics_.deadline_exceeded.inc();
+        break;
+      case RequestState::kRejected:
+        ++stats_.rejected;
+        metrics_.rejected.inc();
+        break;
       default: FEMTO_EXPECTS(false && "terminalize on non-terminal state");
     }
+    FEMTO_EXPECTS(inflight_tickets_ > 0);
+    --inflight_tickets_;
+    metrics_.in_flight.add(-1);
+    metrics_.request_latency.record(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      ticket->submitted_at_)
+            .count());
     if (ticket->on_terminal_) fire.push_back(ticket);
     return true;
   }
@@ -406,6 +468,27 @@ class Service {
       if (t->lifecycle_.terminal()) continue;  // individually cancelled
       t->lifecycle_.advance(to);
     }
+  }
+
+  /// Exports a completed work's trace: retained as the last trace (served
+  /// by the `trace` op) and, with trace_dir set, written to
+  /// <trace_dir>/request-<work_id>.json. Called from the scheduler thread
+  /// off the service lock, after the pipeline run joined its workers (the
+  /// tracer's quiescence requirement).
+  void publish_trace(const Work& work) {
+    std::string json = work.tracer->to_json();
+    if (!options_.trace_dir.empty()) {
+      const std::string path = options_.trace_dir + "/request-" +
+                               std::to_string(work.work_id) + ".json";
+      if (std::FILE* f = std::fopen(path.c_str(), "w"); f != nullptr) {
+        std::fwrite(json.data(), 1, json.size(), f);
+        std::fclose(f);
+      } else if (options_.log) {
+        std::fprintf(stderr, "femtod: cannot write trace %s\n", path.c_str());
+      }
+    }
+    std::lock_guard<std::mutex> g(trace_mu_);
+    last_trace_ = std::move(json);
   }
 
   static void fire_callbacks(
@@ -429,6 +512,7 @@ class Service {
       }
       std::shared_ptr<Work> work = queue_.front();
       queue_.pop_front();
+      metrics_.queue_depth.set(static_cast<std::int64_t>(queue_.size()));
       work->queued = false;
       busy_ = true;
       std::vector<std::shared_ptr<Ticket>> fire;
@@ -438,7 +522,11 @@ class Service {
         erase_inflight(work);
       } else {
         advance_live_waiters(*work, RequestState::kAdmitted);
-        if (std::chrono::steady_clock::now() > work->deadline) {
+        const auto picked = std::chrono::steady_clock::now();
+        metrics_.queue_wait.record(
+            std::chrono::duration<double>(picked - work->submitted_at)
+                .count());
+        if (picked > work->deadline) {
           auto response = std::make_shared<const core::CompileResponse>(
               core::CompileResponse{
                   core::RequestStatus::kDeadlineExceeded,
@@ -449,7 +537,41 @@ class Service {
           advance_live_waiters(*work, RequestState::kRunning);
           work->running = true;
           lock.unlock();
+          // Per-request trace: activate this work's tracer for the span of
+          // the pipeline run (the scheduler serializes works, so exactly
+          // one tracer is ever active). The queue-wait phase is emitted
+          // with explicit timestamps from the recorded submit time.
+          obs::Tracer* tracer = work->tracer.get();
+          if (tracer != nullptr) {
+            obs::Tracer::set_active(tracer);
+            obs::TraceEvent qe;
+            qe.name = "queue_wait";
+            qe.cat = "service";
+            qe.iargs.emplace_back("work_id",
+                                  static_cast<std::int64_t>(work->work_id));
+            tracer->emit_complete(std::move(qe), work->submitted_at, picked);
+          }
+          const auto run_start = std::chrono::steady_clock::now();
           core::CompileResponse result = pipeline_.compile(work->request);
+          const auto run_end = std::chrono::steady_clock::now();
+          if (tracer != nullptr) {
+            obs::TraceEvent re;
+            re.name = "run";
+            re.cat = "service";
+            re.sargs.emplace_back("status", to_string(result.status));
+            tracer->emit_complete(std::move(re), run_start, run_end);
+            obs::TraceEvent rq;
+            rq.name = "request";
+            rq.cat = "service";
+            rq.iargs.emplace_back("work_id",
+                                  static_cast<std::int64_t>(work->work_id));
+            rq.iargs.emplace_back(
+                "waiters", static_cast<std::int64_t>(work->waiters.size()));
+            rq.sargs.emplace_back("status", to_string(result.status));
+            tracer->emit_complete(std::move(rq), work->submitted_at, run_end);
+            obs::Tracer::set_active(nullptr);
+            publish_trace(*work);
+          }
           lock.lock();
           work->running = false;
           // Service admission validated the request, so the pipeline can
@@ -457,6 +579,7 @@ class Service {
           FEMTO_EXPECTS(result.status != core::RequestStatus::kRejected &&
                         "validated request rejected by pipeline");
           ++stats_.works_run;
+          metrics_.works_run.inc();
           const RequestState terminal = to_state(result.status);
           auto response = std::make_shared<const core::CompileResponse>(
               std::move(result));
@@ -491,8 +614,31 @@ class Service {
                    to_string(terminal));
   }
 
+  /// References into the process-global registry (obs/metrics.hpp) under
+  /// the stable service.* names; resolved once so the record paths never
+  /// touch the registry lock. ServiceStats stays the per-instance view.
+  struct Metrics {
+    obs::Counter& submitted = obs::registry().counter("service.submitted");
+    obs::Counter& coalesced = obs::registry().counter("service.coalesced");
+    obs::Counter& done = obs::registry().counter("service.done");
+    obs::Counter& cancelled = obs::registry().counter("service.cancelled");
+    obs::Counter& deadline_exceeded =
+        obs::registry().counter("service.deadline_exceeded");
+    obs::Counter& rejected = obs::registry().counter("service.rejected");
+    obs::Counter& works_run = obs::registry().counter("service.works_run");
+    obs::Counter& plans_served =
+        obs::registry().counter("service.plans_served");
+    obs::Gauge& queue_depth = obs::registry().gauge("service.queue_depth");
+    obs::Gauge& in_flight = obs::registry().gauge("service.in_flight");
+    obs::Histogram& request_latency =
+        obs::registry().histogram("service.request_latency_s");
+    obs::Histogram& queue_wait =
+        obs::registry().histogram("service.queue_wait_s");
+  };
+
   ServiceOptions options_;
   core::CompilePipeline pipeline_;
+  Metrics metrics_;
   mutable std::mutex mu_;
   std::condition_variable cv_;       // wakes the scheduler
   std::condition_variable idle_cv_;  // wakes drain()
@@ -500,9 +646,12 @@ class Service {
   std::unordered_map<std::string, std::shared_ptr<Work>> inflight_;
   ServiceStats stats_;
   std::uint64_t next_ticket_id_ = 0;
+  std::size_t inflight_tickets_ = 0;
   bool draining_ = false;
   bool busy_ = false;
   bool stop_ = false;
+  mutable std::mutex trace_mu_;
+  std::string last_trace_;
   std::thread scheduler_;
 };
 
@@ -512,6 +661,17 @@ class Service {
 // One line in, one or more lines out. Ops:
 //   {"op":"ping"}                          -> {"ok":true,"op":"ping",...}
 //   {"op":"stats"}                         -> {"ok":true,"op":"stats",...}
+//           (monotonic counters + live queue_depth / in_flight gauges)
+//   {"op":"metrics"}                       -> {"ok":true,"op":"metrics",
+//                                              "counters":{...},
+//                                              "gauges":{...},
+//                                              "histograms":{...}}
+//           (the full process-global registry, canonical JSON; histograms
+//            report count/sum_s/p50_s/p95_s/p99_s)
+//   {"op":"trace"}                         -> {"ok":true,"op":"trace",
+//                                              "trace":{...chrome trace...}}
+//           (span tree of the most recent completed request; error when
+//            tracing is disabled or nothing has completed yet)
 //   {"op":"compile","id":"r1",
 //    "include_circuit":false,
 //    "request":{...protocol request...}}   -> ack {"ok":true,"op":"compile",
@@ -747,9 +907,63 @@ class SocketServer {
       v.set("rejected", json::Value::number(s.rejected));
       v.set("works_run", json::Value::number(s.works_run));
       v.set("plans_served", json::Value::number(s.plans_served));
-      v.set("queue_depth", json::Value::number(service_.queue_depth()));
+      v.set("queue_depth", json::Value::number(
+                               static_cast<std::uint64_t>(
+                                   service_.queue_depth())));
+      v.set("in_flight", json::Value::number(static_cast<std::uint64_t>(
+                             service_.in_flight())));
       v.set("workers",
             json::Value::number(service_.pipeline().worker_count()));
+      write_line(conn, v.encode());
+    } else if (op == "metrics") {
+      const obs::MetricsSnapshot snap = obs::registry().snapshot();
+      json::Value v = json::Value::object();
+      v.set("ok", json::Value::boolean(true));
+      v.set("op", json::Value::string("metrics"));
+      json::Value counters = json::Value::object();
+      for (const auto& [name, value] : snap.counters)
+        counters.set(name, json::Value::number(value));
+      v.set("counters", std::move(counters));
+      json::Value gauges = json::Value::object();
+      for (const auto& [name, value] : snap.gauges)
+        gauges.set(name, json::Value::number(static_cast<double>(value)));
+      v.set("gauges", std::move(gauges));
+      json::Value histograms = json::Value::object();
+      for (const obs::HistogramView& h : snap.histograms) {
+        json::Value hv = json::Value::object();
+        hv.set("count", json::Value::number(h.count));
+        hv.set("sum_s", json::Value::number(h.sum_s));
+        hv.set("p50_s", json::Value::number(h.p50_s));
+        hv.set("p95_s", json::Value::number(h.p95_s));
+        hv.set("p99_s", json::Value::number(h.p99_s));
+        histograms.set(h.name, std::move(hv));
+      }
+      v.set("histograms", std::move(histograms));
+      write_line(conn, v.encode());
+    } else if (op == "trace") {
+      if (!service_.tracing_enabled()) {
+        write_error(conn, "trace", "",
+                    "tracing disabled: start femtod with --trace-dir (or "
+                    "ServiceOptions.trace)");
+        return;
+      }
+      const std::string trace = service_.last_trace();
+      if (trace.empty()) {
+        write_error(conn, "trace", "",
+                    "no trace captured yet: complete a compile first");
+        return;
+      }
+      std::optional<json::Value> parsed = json::parse(trace, &err);
+      if (!parsed.has_value()) {
+        // The tracer emits valid JSON by construction; surface loudly if
+        // that ever breaks instead of relaying garbage.
+        write_error(conn, "trace", "", "internal: trace not valid JSON: " + err);
+        return;
+      }
+      json::Value v = json::Value::object();
+      v.set("ok", json::Value::boolean(true));
+      v.set("op", json::Value::string("trace"));
+      v.set("trace", std::move(*parsed));
       write_line(conn, v.encode());
     } else if (op == "compile") {
       const json::Value* id_field = msg.find("id");

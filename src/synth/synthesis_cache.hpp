@@ -36,9 +36,28 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "synth/pauli_exponential.hpp"
 
 namespace femto::synth {
+
+namespace detail {
+/// Process-global mirrors of the per-instance Stats counters, under the
+/// stable metric names the femtod `metrics` op exports (obs/metrics.hpp).
+/// The per-instance struct stays authoritative for tests; these accumulate
+/// across every cache in the process.
+struct CacheMetrics {
+  obs::Counter& l1_hits = obs::registry().counter("cache.l1_hits");
+  obs::Counter& misses = obs::registry().counter("cache.misses");
+  obs::Counter& l2_hits = obs::registry().counter("cache.l2_hits");
+  obs::Counter& evictions = obs::registry().counter("cache.evictions");
+
+  [[nodiscard]] static CacheMetrics& get() {
+    static CacheMetrics m;
+    return m;
+  }
+};
+}  // namespace detail
 
 /// Interface to a second-level synthesis store (persistent database,
 /// recording builder). Implementations must be safe for concurrent load()
@@ -117,6 +136,7 @@ class SynthesisCache {
       const auto it = entries_.find(key);
       if (it != entries_.end()) {
         ++stats_.hits;
+        detail::CacheMetrics::get().l1_hits.inc();
         return it->second;
       }
     }
@@ -169,9 +189,13 @@ class SynthesisCache {
         entries_.emplace(std::move(key), std::move(circuit));
     if (!inserted) {
       ++stats_.hits;
+      detail::CacheMetrics::get().l1_hits.inc();
       return it->second;
     }
     ++(from_store ? stats_.l2_hits : stats_.misses);
+    (from_store ? detail::CacheMetrics::get().l2_hits
+                : detail::CacheMetrics::get().misses)
+        .inc();
     stats_.approx_bytes += entry_bytes(it->first, it->second);
     fifo_.push_back(&it->first);  // node-stable key address
     circuit::QuantumCircuit out = it->second;
@@ -193,6 +217,7 @@ class SynthesisCache {
       stats_.approx_bytes -= entry_bytes(it->first, it->second);
       entries_.erase(it);
       ++stats_.evictions;
+      detail::CacheMetrics::get().evictions.inc();
     }
   }
 

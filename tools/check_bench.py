@@ -41,7 +41,7 @@ import fnmatch
 import json
 import sys
 
-TIMING_KEYS = ("median_s", "min_s", "max_s")
+TIMING_KEYS = ("median_s", "min_s", "max_s", "mean_s", "stddev_s")
 # Wall-clock-derived ratio metrics (t_ref / t_new): machine- and load-
 # dependent like the raw timings, so gated only with --include-timings.
 TIMING_METRIC_HINTS = ("scaling", "throughput")
@@ -71,6 +71,13 @@ ABS_FLOORS = {
     # wire protocol; the floor only guards against pathological collapse
     # (a stuck scheduler or a protocol round trip gone quadratic).
     "service": {"plans_per_s": 2.0},
+    # Tracing overhead contract (bench_pipeline trace_overhead section):
+    # t_untraced / t_traced for the same seeded compile, measured in the
+    # same process, so it holds on any machine. The disabled path is one
+    # relaxed atomic load, and the enabled path only buffers coarse spans;
+    # the floor allows ~10% slowdown before failing (ratio 0.9 == traced
+    # run taking 1/0.9 ~ 1.11x the untraced time).
+    "pipeline": {"trace_overhead_ratio": 0.9},
 }
 
 # suite -> {"section/metric" glob: pinned value}. The metric must equal the
@@ -99,6 +106,12 @@ ABS_EXACT = {
         "*/deadline_enforced": 1.0,
         "*/clean_shutdown": 1.0,
     },
+    # The tracing contract (bench_pipeline trace_overhead section): the
+    # Chrome trace-event JSON exported by the traced compile must parse
+    # (trace_valid_json) and the traced compile must produce a circuit
+    # bit-identical to the untraced one (trace_bit_identical) -- tracing
+    # observes the pipeline, it never steers it.
+    "pipeline": {"*/trace_valid_json": 1.0, "*/trace_bit_identical": 1.0},
 }
 
 

@@ -3,6 +3,14 @@
 //
 //   femto-client --socket <path> ping
 //   femto-client --socket <path> stats
+//   femto-client --socket <path> metrics
+//       Fetches the daemon's unified metrics registry (obs/metrics.hpp)
+//       and pretty-prints counters, gauges, and latency-histogram
+//       percentiles.
+//   femto-client --socket <path> trace
+//       Fetches the most recent completed request's Chrome trace-event
+//       JSON (daemon must run with --trace-dir) and prints it to stdout --
+//       pipe to a file and load in Perfetto / chrome://tracing.
 //   femto-client --socket <path> shutdown [--cancel]
 //   femto-client --socket <path> compile <scenarios.jsonl>
 //       Submits every canonical protocol scenario in the file (one per
@@ -10,12 +18,16 @@
 //       and prints the per-scenario plan summary.
 //
 //   femto-client --smoke <path-to-femtod>
-//       Boots a fresh femtod on a private socket, pings it, compiles a
-//       small seeded UCCSD scenario through the daemon AND in-process on
-//       an identical pipeline, and FAILS unless the two canonical response
-//       encodings are byte-identical (the serving determinism contract).
-//       Finishes with a graceful shutdown handshake and checks the daemon
-//       exits 0. This is the `femtod_smoke` ctest.
+//       Boots a fresh femtod (with tracing on) on a private socket, pings
+//       it, compiles a small seeded UCCSD scenario through the daemon AND
+//       in-process on an identical pipeline, and FAILS unless the two
+//       canonical response encodings are byte-identical (the serving
+//       determinism contract). Then round-trips the `metrics` op (the
+//       registry must report the work and a request-latency histogram) and
+//       the `trace` op (the served request's span tree must contain the
+//       queue-wait, run, restart, and per-stage spans). Finishes with a
+//       graceful shutdown handshake and checks the daemon exits 0. This is
+//       the `femtod_smoke` ctest.
 //
 // Exit codes: 0 ok, 1 contract/request failure, 2 usage/transport error.
 #include <cstdio>
@@ -37,7 +49,8 @@ using namespace femto;
 int usage() {
   std::fprintf(
       stderr,
-      "usage: femto-client --socket <path> ping|stats|shutdown [--cancel]\n"
+      "usage: femto-client --socket <path> "
+      "ping|stats|metrics|trace|shutdown [--cancel]\n"
       "       femto-client --socket <path> compile <scenarios.jsonl>\n"
       "       femto-client --smoke <path-to-femtod>\n");
   return 2;
@@ -70,8 +83,11 @@ core::CompileScenario smoke_scenario() {
 int cmd_smoke(const std::string& femtod_path) {
   const std::string socket_path =
       "/tmp/femtod-smoke-" + std::to_string(::getpid()) + ".sock";
-  const pid_t pid = service::spawn_process(
-      {femtod_path, "--socket", socket_path, "--workers", "2"});
+  const std::string trace_dir =
+      "/tmp/femtod-smoke-" + std::to_string(::getpid()) + "-traces";
+  const pid_t pid = service::spawn_process({femtod_path, "--socket",
+                                            socket_path, "--workers", "2",
+                                            "--trace-dir", trace_dir});
   if (pid < 0) {
     std::fprintf(stderr, "smoke: cannot spawn %s\n", femtod_path.c_str());
     return 2;
@@ -133,6 +149,64 @@ int cmd_smoke(const std::string& femtod_path) {
     rc = 1;
   }
 
+  // Metrics round-trip: after one served compile the registry must report
+  // the work and at least one request-latency sample.
+  const auto metrics = client.metrics();
+  if (!metrics.has_value()) {
+    std::fprintf(stderr, "smoke: metrics op failed\n");
+    rc = 1;
+  } else {
+    const auto counter_at_least_one = [&](const char* name) {
+      const service::json::Value* counters = metrics->find("counters");
+      const service::json::Value* v =
+          counters != nullptr ? counters->find(name) : nullptr;
+      if (v == nullptr || std::atof(v->as_string().c_str()) < 1.0) {
+        std::fprintf(stderr, "smoke: metrics counter %s missing or zero\n",
+                     name);
+        rc = 1;
+      }
+    };
+    counter_at_least_one("service.works_run");
+    counter_at_least_one("pipeline.compiles");
+    const service::json::Value* hists = metrics->find("histograms");
+    const service::json::Value* latency =
+        hists != nullptr ? hists->find("service.request_latency_s") : nullptr;
+    const service::json::Value* count =
+        latency != nullptr ? latency->find("count") : nullptr;
+    if (count == nullptr || std::atof(count->as_string().c_str()) < 1.0) {
+      std::fprintf(stderr,
+                   "smoke: request-latency histogram missing or empty\n");
+      rc = 1;
+    }
+  }
+
+  // Trace fetch: the served request's span tree must contain the
+  // queue-wait, run, per-restart, and per-stage spans (the ISSUE's
+  // acceptance shape for a single compile request).
+  const auto trace = client.trace(err);
+  if (!trace.has_value()) {
+    std::fprintf(stderr, "smoke: trace op failed: %s\n", err.c_str());
+    rc = 1;
+  } else {
+    const service::json::Value* events = trace->find("traceEvents");
+    const auto has_span = [&](const char* name) {
+      if (events == nullptr || !events->is_array()) return false;
+      for (const auto& e : events->items()) {
+        const service::json::Value* n = e.find("name");
+        if (n != nullptr && n->is_string() && n->as_string() == name)
+          return true;
+      }
+      return false;
+    };
+    for (const char* span : {"queue_wait", "run", "restart", "stage_plan",
+                             "stage_transform", "stage_emit"}) {
+      if (!has_span(span)) {
+        std::fprintf(stderr, "smoke: trace missing span \"%s\"\n", span);
+        rc = 1;
+      }
+    }
+  }
+
   if (!client.shutdown()) {
     std::fprintf(stderr, "smoke: shutdown handshake failed\n");
     rc = rc == 0 ? 1 : rc;
@@ -144,10 +218,58 @@ int cmd_smoke(const std::string& femtod_path) {
   }
   if (rc == 0)
     std::printf(
-        "smoke: ok (served == in-process, %d model CNOTs, verified, clean "
-        "shutdown)\n",
+        "smoke: ok (served == in-process, %d model CNOTs, verified, "
+        "metrics+trace round-trip, clean shutdown)\n",
         served->response.outcomes[0].model_cnots);
   return rc;
+}
+
+int cmd_metrics(service::CompileClient& client) {
+  const auto msg = client.metrics();
+  if (!msg.has_value()) {
+    std::fprintf(stderr, "femto-client: metrics failed\n");
+    return 1;
+  }
+  const auto print_scalars = [](const char* title,
+                                const service::json::Value* section) {
+    if (section == nullptr || !section->is_object() ||
+        section->members().empty())
+      return;
+    std::printf("# %s\n", title);
+    for (const auto& [name, value] : section->members())
+      std::printf("  %-32s %s\n", name.c_str(),
+                  value.as_string().c_str());
+  };
+  print_scalars("counters", msg->find("counters"));
+  print_scalars("gauges", msg->find("gauges"));
+  const service::json::Value* hists = msg->find("histograms");
+  if (hists != nullptr && hists->is_object() && !hists->members().empty()) {
+    std::printf("# histograms\n");
+    std::printf("  %-32s %10s %12s %10s %10s %10s\n", "name", "count",
+                "sum_s", "p50_s", "p95_s", "p99_s");
+    for (const auto& [name, h] : hists->members()) {
+      const auto field = [&](const char* key) -> std::string {
+        const service::json::Value* v = h.find(key);
+        return v != nullptr ? v->as_string() : "?";
+      };
+      std::printf("  %-32s %10s %12s %10s %10s %10s\n", name.c_str(),
+                  field("count").c_str(), field("sum_s").c_str(),
+                  field("p50_s").c_str(), field("p95_s").c_str(),
+                  field("p99_s").c_str());
+    }
+  }
+  return 0;
+}
+
+int cmd_trace(service::CompileClient& client) {
+  std::string err;
+  const auto trace = client.trace(err);
+  if (!trace.has_value()) {
+    std::fprintf(stderr, "femto-client: trace failed: %s\n", err.c_str());
+    return 1;
+  }
+  std::printf("%s\n", trace->encode().c_str());
+  return 0;
 }
 
 int cmd_compile(service::CompileClient& client, const std::string& path) {
@@ -245,6 +367,8 @@ int main(int argc, char** argv) {
     std::printf("%s\n", stats->encode().c_str());
     return 0;
   }
+  if (command == "metrics") return cmd_metrics(client);
+  if (command == "trace") return cmd_trace(client);
   if (command == "shutdown") {
     if (!client.shutdown(cancel)) {
       std::fprintf(stderr, "femto-client: shutdown failed\n");

@@ -7,7 +7,14 @@
 // identical in-flight requests coalesce onto one execution.
 //
 //   femtod --socket <path> [--workers N] [--max-queue N] [--db <path.fdb>]
-//          [--default-deadline S] [--log]
+//          [--default-deadline S] [--trace-dir <dir>] [--log]
+//
+// --trace-dir enables per-request tracing: every completed work writes a
+// Chrome trace-event JSON (loadable in Perfetto / chrome://tracing) to
+// <dir>/request-<id>.json, and the `trace` wire op serves the most recent
+// one. The `metrics` op (always available) exports the unified metrics
+// registry: cache hit/miss counters, request-latency percentiles, live
+// queue gauges.
 //
 // Prints "femtod: serving on <path>" once the socket accepts connections
 // (drivers wait for the line OR poll-connect the socket). Shuts down on
@@ -15,11 +22,14 @@
 // in-flight and queued work finishes, then the socket is torn down and a
 // final stats line is printed. Exit 0 on a clean drain, 2 on usage/setup
 // errors.
+#include <cerrno>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+
+#include <sys/stat.h>
 
 #include "db/database.hpp"
 #include "service/server.hpp"
@@ -33,7 +43,8 @@ void on_signal(int) { g_stop = 1; }
 int usage() {
   std::fprintf(stderr,
                "usage: femtod --socket <path> [--workers N] [--max-queue N] "
-               "[--db <path.fdb>] [--default-deadline S] [--log]\n");
+               "[--db <path.fdb>] [--default-deadline S] "
+               "[--trace-dir <dir>] [--log]\n");
   return 2;
 }
 
@@ -71,6 +82,10 @@ int main(int argc, char** argv) {
       const char* v = value();
       if (v == nullptr) return usage();
       service_options.default_deadline_s = std::atof(v);
+    } else if (arg == "--trace-dir") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      service_options.trace_dir = v;
     } else if (arg == "--log") {
       log = true;
     } else {
@@ -82,6 +97,17 @@ int main(int argc, char** argv) {
   // Per-request knobs (restarts, verify, seed) arrive on the wire; the
   // pipeline-level defaults only matter for the adapter API, not femtod.
   service_options.pipeline.restarts = 1;
+
+  if (!service_options.trace_dir.empty()) {
+    // Create the directory up front so the first trace write cannot fail
+    // silently mid-serve; an existing directory is fine.
+    if (::mkdir(service_options.trace_dir.c_str(), 0755) != 0 &&
+        errno != EEXIST) {
+      std::fprintf(stderr, "femtod: cannot create trace dir %s: %s\n",
+                   service_options.trace_dir.c_str(), std::strerror(errno));
+      return 2;
+    }
+  }
 
   if (!db_path.empty()) {
     // Validate up front for a clean exit code; the pipeline re-opens it
