@@ -41,3 +41,16 @@ namespace femto::detail {
       ::femto::detail::contract_failure("invariant", #cond, __FILE__,  \
                                         __LINE__);                      \
   } while (false)
+
+// Debug-only precondition: compiled out in release (NDEBUG) builds. For the
+// per-bit accessors on compile/simulation hot paths, where the always-on
+// FEMTO_EXPECTS costs a compare+branch per *bit* -- the unchecked accessor
+// variants (BitVec::get_u & co.) use this so sanitizer/Debug CI still
+// verifies every index while release inner loops pay nothing.
+#if defined(NDEBUG)
+#define FEMTO_DEBUG_EXPECTS(cond) \
+  do {                            \
+  } while (false)
+#else
+#define FEMTO_DEBUG_EXPECTS(cond) FEMTO_EXPECTS(cond)
+#endif

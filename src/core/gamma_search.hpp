@@ -187,11 +187,13 @@ class GammaObjective {
     for (std::size_t ti = 0; ti < terms_.size(); ++ti) {
       bool dirty = false;
       for (std::size_t k = terms_[ti].begin; k < terms_[ti].end; ++k) {
+        // Unchecked bit accessors: src/dst are block indices < n by
+        // construction, and this loop dominates every SA candidate.
         Block& b = blocks_[k];
-        const bool fx = b.x.get(src);
-        const bool fz = b.z.get(dst);
-        if (fx) b.x.flip(dst);
-        if (fz) b.z.flip(src);
+        const bool fx = b.x.get_u(src);
+        const bool fz = b.z.get_u(dst);
+        if (fx) b.x.flip_u(dst);
+        if (fz) b.z.flip_u(src);
         dirty = dirty || fx || fz;
       }
       if (dirty) {
@@ -211,10 +213,10 @@ class GammaObjective {
     for (const Dirty& d : dirty_) {
       for (std::size_t k = terms_[d.term].begin; k < terms_[d.term].end; ++k) {
         Block& b = blocks_[k];
-        const bool fx = b.x.get(last_src_);
-        const bool fz = b.z.get(last_dst_);
-        if (fx) b.x.flip(last_dst_);
-        if (fz) b.z.flip(last_src_);
+        const bool fx = b.x.get_u(last_src_);
+        const bool fz = b.z.get_u(last_dst_);
+        if (fx) b.x.flip_u(last_dst_);
+        if (fz) b.z.flip_u(last_src_);
       }
       total_ += d.old_cost - terms_[d.term].cost;
       terms_[d.term].cost = d.old_cost;
@@ -239,12 +241,8 @@ class GammaObjective {
   };
 
   [[nodiscard]] static std::size_t support_weight(const Block& b) {
-    std::size_t w = 0;
-    const auto& wx = b.x.words();
-    const auto& wz = b.z.words();
-    for (std::size_t i = 0; i < wx.size(); ++i)
-      w += static_cast<std::size_t>(__builtin_popcountll(wx[i] | wz[i]));
-    return w;
+    return gf2::wordops::or_popcount(b.x.word_data(), b.z.word_data(),
+                                     b.x.word_count());
   }
 
   /// fast_term_cost of one term over the mapped symplectic pairs: per-block

@@ -450,10 +450,11 @@ namespace detail {
 /// `cost_cache` when one is supplied).
 ///
 /// Hot-path shape: the m x m best-shared-target savings table is built first
-/// (word-parallel closed form on the default model, scalar per-target device
-/// savings otherwise) and the greedy chain then runs on table lookups alone;
-/// scratch lives in per-thread buffers, so steady-state calls allocate
-/// nothing. Bit-identical to detail::fast_term_cost_reference.
+/// (the SIMD-dispatched fused support-count kernel of gf2/wordops.hpp on the
+/// default model -- see synth::best_shared_target_saving -- scalar
+/// per-target device savings otherwise) and the greedy chain then runs on
+/// table lookups alone; scratch lives in per-thread buffers, so steady-state
+/// calls allocate nothing. Bit-identical to detail::fast_term_cost_reference.
 [[nodiscard]] inline int fast_term_cost(
     const std::vector<synth::RotationBlock>& blocks,
     const synth::HardwareTarget* hw = nullptr,

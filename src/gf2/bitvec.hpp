@@ -3,6 +3,21 @@
 // Used as the row type of GF2Matrix and as the symplectic x/z components of
 // Pauli strings. Sized at runtime (molecular problems range from 4 to ~20
 // qubits but the container supports arbitrary n).
+//
+// TAIL INVARIANT: bits at positions >= size() in the final storage word are
+// ALWAYS zero. Construction zero-fills; the per-bit mutators only touch
+// checked indices < size(); the word-parallel mutators (^=, |=, &=) combine
+// two vectors of equal size, and 0 op 0 == 0 for all three operators, so the
+// padding stays zero through every mutating op. The reduction kernels
+// (popcount, parity, dot, the SIMD word ops in wordops.hpp, and hash_value)
+// rely on this to read whole words with no tail masking. Property-tested in
+// tests/test_gf2.cpp (TailPaddingInvariant).
+//
+// Hot-path accessors: get/set/flip validate their index with FEMTO_EXPECTS
+// on every call, which is the right default for a library API but costs a
+// compare+branch per *bit* inside compile inner loops (gamma_search move
+// apply/undo, PauliString::letter). The *_u variants check only in Debug
+// builds (FEMTO_DEBUG_EXPECTS) -- sanitizer CI still validates every index.
 #pragma once
 
 #include <cstdint>
@@ -10,6 +25,7 @@
 #include <vector>
 
 #include "common/assert.hpp"
+#include "gf2/wordops.hpp"
 
 namespace femto::gf2 {
 
@@ -50,10 +66,32 @@ class BitVec {
     words_[i / 64] ^= 1ULL << (i % 64);
   }
 
+  /// Unchecked accessors (Debug-only index validation): for inner loops
+  /// whose indices are already bounded by construction. Same semantics as
+  /// get/set/flip.
+  [[nodiscard]] bool get_u(std::size_t i) const {
+    FEMTO_DEBUG_EXPECTS(i < n_);
+    return (words_[i / 64] >> (i % 64)) & 1ULL;
+  }
+
+  void set_u(std::size_t i, bool value) {
+    FEMTO_DEBUG_EXPECTS(i < n_);
+    const std::uint64_t mask = 1ULL << (i % 64);
+    if (value)
+      words_[i / 64] |= mask;
+    else
+      words_[i / 64] &= ~mask;
+  }
+
+  void flip_u(std::size_t i) {
+    FEMTO_DEBUG_EXPECTS(i < n_);
+    words_[i / 64] ^= 1ULL << (i % 64);
+  }
+
   /// In-place XOR (vector addition over GF(2)).
   BitVec& operator^=(const BitVec& other) {
     FEMTO_EXPECTS(n_ == other.n_);
-    for (std::size_t w = 0; w < words_.size(); ++w) words_[w] ^= other.words_[w];
+    wordops::xor_inplace(words_.data(), other.words_.data(), words_.size());
     return *this;
   }
 
@@ -65,7 +103,7 @@ class BitVec {
   /// In-place OR.
   BitVec& operator|=(const BitVec& other) {
     FEMTO_EXPECTS(n_ == other.n_);
-    for (std::size_t w = 0; w < words_.size(); ++w) words_[w] |= other.words_[w];
+    wordops::or_inplace(words_.data(), other.words_.data(), words_.size());
     return *this;
   }
 
@@ -77,7 +115,7 @@ class BitVec {
   /// In-place AND.
   BitVec& operator&=(const BitVec& other) {
     FEMTO_EXPECTS(n_ == other.n_);
-    for (std::size_t w = 0; w < words_.size(); ++w) words_[w] &= other.words_[w];
+    wordops::and_inplace(words_.data(), other.words_.data(), words_.size());
     return *this;
   }
 
@@ -92,9 +130,12 @@ class BitVec {
 
   /// Number of set bits.
   [[nodiscard]] std::size_t popcount() const {
-    std::size_t count = 0;
-    for (std::uint64_t w : words_) count += static_cast<std::size_t>(__builtin_popcountll(w));
-    return count;
+    return wordops::popcount(words_.data(), words_.size());
+  }
+
+  /// XOR of all bits (== popcount() & 1).
+  [[nodiscard]] bool parity() const {
+    return wordops::parity(words_.data(), words_.size());
   }
 
   [[nodiscard]] bool any() const {
@@ -106,9 +147,8 @@ class BitVec {
   /// Parity of the inner product <this, other> over GF(2).
   [[nodiscard]] bool dot(const BitVec& other) const {
     FEMTO_EXPECTS(n_ == other.n_);
-    std::uint64_t acc = 0;
-    for (std::size_t w = 0; w < words_.size(); ++w) acc ^= words_[w] & other.words_[w];
-    return (__builtin_popcountll(acc) & 1) != 0;
+    return wordops::and_parity(words_.data(), other.words_.data(),
+                               words_.size());
   }
 
   /// Index of the lowest set bit; n (size) when empty.
@@ -129,6 +169,12 @@ class BitVec {
 
   /// Word storage, exposed for hashing.
   [[nodiscard]] const std::vector<std::uint64_t>& words() const { return words_; }
+
+  /// Raw word span (tail invariant applies: bits >= size() are zero). The
+  /// unchecked entry point for wordops.hpp kernels.
+  [[nodiscard]] const std::uint64_t* word_data() const { return words_.data(); }
+  [[nodiscard]] std::uint64_t* word_data() { return words_.data(); }
+  [[nodiscard]] std::size_t word_count() const { return words_.size(); }
 
   /// The whole vector as one packed word. Only valid for size() <= 64; used
   /// by the statevector kernels to turn Pauli x/z components into O(1)

@@ -44,6 +44,8 @@ class Matrix {
   [[nodiscard]] const BitVec& row(std::size_t r) const { return rows_[r]; }
 
   /// Row operation row[dst] ^= row[src] (an elementary GL(n,2) generator).
+  /// Word-parallel via BitVec::operator^= (SIMD-dispatched, wordops.hpp) --
+  /// this is the Gamma-move primitive the SA loop issues per candidate.
   void add_row(std::size_t src, std::size_t dst) {
     FEMTO_EXPECTS(src != dst);
     rows_[dst] ^= rows_[src];
@@ -79,7 +81,7 @@ class Matrix {
     Matrix out(n_);
     for (std::size_t r = 0; r < n_; ++r)
       for (std::size_t c = 0; c < n_; ++c)
-        if (get(r, c)) out.set(c, r, true);
+        if (rows_[r].get_u(c)) out.rows_[c].set_u(r, true);
     return out;
   }
 

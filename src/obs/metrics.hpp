@@ -19,8 +19,13 @@
 //              service.submitted / service.coalesced / service.done /
 //              service.cancelled / service.deadline_exceeded /
 //              service.rejected / service.works_run / service.plans_served
+//              sim.batched_states_applied
+//                                     states advanced by BatchedState ops
+//                                     (batch size per gate/circuit/sweep)
 //   gauges     service.queue_depth    live admission-queue length
 //              service.in_flight      submitted tickets not yet terminal
+//              sim.simd_level         active kernel dispatch level
+//                                     (0 portable, 1 AVX2, 2 AVX-512)
 //   histograms service.request_latency_s   submit -> terminal, seconds
 //              service.queue_wait_s        submit -> scheduler pickup
 //

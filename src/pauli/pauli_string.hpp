@@ -72,8 +72,11 @@ class PauliString {
   [[nodiscard]] std::size_t num_qubits() const { return x_.size(); }
 
   [[nodiscard]] Letter letter(std::size_t q) const {
-    // code: 0 -> I, 1 (x only) -> X, 2 (z only) -> Z, 3 (both) -> Y
-    const int code = (x_.get(q) ? 1 : 0) | (z_.get(q) ? 2 : 0);
+    // code: 0 -> I, 1 (x only) -> X, 2 (z only) -> Z, 3 (both) -> Y.
+    // Debug-checked accessors: letter() runs per site inside the cost-model
+    // and sorting inner loops, where the release-mode bounds branch of
+    // BitVec::get was measurable.
+    const int code = (x_.get_u(q) ? 1 : 0) | (z_.get_u(q) ? 2 : 0);
     constexpr Letter table[] = {Letter::I, Letter::X, Letter::Z, Letter::Y};
     return table[code];
   }
@@ -111,8 +114,13 @@ class PauliString {
 
   void set_phase_exponent(int k) { phase_ = k & 3; }
 
-  /// Number of non-identity sites.
-  [[nodiscard]] std::size_t weight() const { return (x_ | z_).popcount(); }
+  /// Number of non-identity sites. Fused or+popcount over the word spans:
+  /// no temporary BitVec, SIMD-dispatched (string_cost calls this per block
+  /// inside the annealing loops).
+  [[nodiscard]] std::size_t weight() const {
+    return gf2::wordops::or_popcount(x_.word_data(), z_.word_data(),
+                                     x_.word_count());
+  }
 
   /// Bit mask of non-identity sites.
   [[nodiscard]] gf2::BitVec support() const { return x_ | z_; }

@@ -9,6 +9,14 @@
 // sim/kernels.hpp: pairs are enumerated directly (no branch-in-loop over all
 // 2^n indices), diagonal gates fuse into streaming passes, and consecutive
 // diagonal gates on one qubit collapse into a single pass in apply_circuit.
+//
+// The gate/circuit dispatchers live in sim::detail as free functions over a
+// raw amplitude array with a QUBIT SHIFT: gate qubit q acts on bit q + shift
+// of the index. StateVector calls them with shift = 0; BatchedState
+// (sim/batched.hpp) calls the very same code with shift = log2(batch lanes)
+// to apply one circuit across a whole lane-interleaved batch -- which is
+// what makes batched results bit-identical to the per-state path by
+// construction.
 #pragma once
 
 #include <complex>
@@ -23,6 +31,131 @@
 namespace femto::sim {
 
 using Complex = std::complex<double>;
+
+namespace detail {
+
+[[nodiscard]] inline double resolved_angle(const circuit::Gate& g,
+                                           std::span<const double> params) {
+  return g.param >= 0 ? g.angle * params[static_cast<std::size_t>(g.param)]
+                      : g.angle;
+}
+
+[[nodiscard]] inline bool is_diag1(circuit::GateKind k) {
+  using circuit::GateKind;
+  return k == GateKind::kZ || k == GateKind::kS || k == GateKind::kSdg ||
+         k == GateKind::kRz;
+}
+
+/// Diagonal (d0, d1) of a single-qubit diagonal gate.
+[[nodiscard]] inline std::pair<Complex, Complex> diag_of(
+    const circuit::Gate& g, std::span<const double> params) {
+  using circuit::GateKind;
+  const Complex i_unit{0.0, 1.0};
+  switch (g.kind) {
+    case GateKind::kZ: return {{1.0, 0.0}, {-1.0, 0.0}};
+    case GateKind::kS: return {{1.0, 0.0}, i_unit};
+    case GateKind::kSdg: return {{1.0, 0.0}, -i_unit};
+    case GateKind::kRz: {
+      const double half = resolved_angle(g, params) / 2;
+      return {std::exp(-i_unit * half), std::exp(i_unit * half)};
+    }
+    default: FEMTO_EXPECTS(false && "not a single-qubit diagonal gate");
+  }
+  return {{1.0, 0.0}, {1.0, 0.0}};
+}
+
+/// Packed masks of a string, with its bits shifted up by `shift` index bits
+/// (n + shift <= 64). Shifting x and z together preserves every per-index
+/// popcount parity on the shifted index, so the same masks drive per-state
+/// (shift 0) and lane-interleaved batched application.
+[[nodiscard]] inline kernels::PauliMasks make_masks(const pauli::PauliString& p,
+                                                    std::size_t shift = 0) {
+  FEMTO_EXPECTS(p.num_qubits() + shift <= 64);
+  kernels::PauliMasks m;
+  m.x = p.x().mask64() << shift;
+  m.z = p.z().mask64() << shift;
+  switch (std::popcount(m.x & m.z) & 3) {
+    case 1: m.y_factor = Complex(0, 1); break;
+    case 2: m.y_factor = Complex(-1, 0); break;
+    case 3: m.y_factor = Complex(0, -1); break;
+    default: break;
+  }
+  return m;
+}
+
+/// Applies one gate to a raw amplitude array of size `dim`, acting on index
+/// bit g.q + shift.
+inline void apply_gate_raw(Complex* a, std::size_t dim, std::size_t shift,
+                           const circuit::Gate& g,
+                           std::span<const double> params) {
+  using circuit::GateKind;
+  const std::size_t q0 = g.q0 + shift;
+  const std::size_t q1 = g.q1 + shift;
+  FEMTO_EXPECTS((std::size_t{1} << q0) < dim);
+  const double angle = detail::resolved_angle(g, params);
+  const double half = angle / 2;
+  const Complex i_unit{0.0, 1.0};
+  if (is_diag1(g.kind)) {
+    const auto [d0, d1] = diag_of(g, params);
+    kernels::apply_diag1(a, dim, q0, d0, d1);
+    return;
+  }
+  switch (g.kind) {
+    case GateKind::kX: kernels::apply_matrix1(a, dim, q0, 0, 1, 1, 0); break;
+    case GateKind::kY:
+      kernels::apply_matrix1(a, dim, q0, 0, -i_unit, i_unit, 0);
+      break;
+    case GateKind::kH: {
+      const double s = 1.0 / std::sqrt(2.0);
+      kernels::apply_matrix1(a, dim, q0, s, s, s, -s);
+      break;
+    }
+    case GateKind::kRx:
+      kernels::apply_matrix1(a, dim, q0, std::cos(half),
+                             -i_unit * std::sin(half),
+                             -i_unit * std::sin(half), std::cos(half));
+      break;
+    case GateKind::kRy:
+      kernels::apply_matrix1(a, dim, q0, std::cos(half), -std::sin(half),
+                             std::sin(half), std::cos(half));
+      break;
+    case GateKind::kCnot: kernels::apply_cnot(a, dim, q0, q1); break;
+    case GateKind::kCz: kernels::apply_cz(a, dim, q0, q1); break;
+    case GateKind::kSwap: kernels::apply_swap(a, dim, q0, q1); break;
+    case GateKind::kXXrot: kernels::apply_xxrot(a, dim, q0, q1, angle); break;
+    case GateKind::kXYrot: kernels::apply_xyrot(a, dim, q0, q1, angle); break;
+    case GateKind::kZ:
+    case GateKind::kS:
+    case GateKind::kSdg:
+    case GateKind::kRz: break;  // handled by the diagonal path above
+  }
+}
+
+/// Applies a whole circuit, fusing runs of consecutive single-qubit diagonal
+/// gates on one qubit into a single streaming pass.
+inline void apply_circuit_raw(Complex* a, std::size_t dim, std::size_t shift,
+                              const circuit::QuantumCircuit& c,
+                              std::span<const double> params) {
+  const auto& gates = c.gates();
+  for (std::size_t k = 0; k < gates.size(); ++k) {
+    const circuit::Gate& g = gates[k];
+    if (is_diag1(g.kind)) {
+      auto [d0, d1] = diag_of(g, params);
+      while (k + 1 < gates.size() && is_diag1(gates[k + 1].kind) &&
+             gates[k + 1].q0 == g.q0) {
+        ++k;
+        const auto [e0, e1] = diag_of(gates[k], params);
+        d0 *= e0;
+        d1 *= e1;
+      }
+      kernels::apply_diag1(a, dim, g.q0 + shift, d0, d1);
+      continue;
+    }
+    apply_gate_raw(a, dim, shift, g, params);
+  }
+}
+
+}  // namespace detail
 
 class StateVector {
  public:
@@ -93,65 +226,14 @@ class StateVector {
 
   void apply_gate(const circuit::Gate& g,
                   std::span<const double> params = {}) {
-    using circuit::GateKind;
-    const double angle = resolved_angle(g, params);
-    const double half = angle / 2;
-    const Complex i_unit{0.0, 1.0};
-    if (is_diag1(g.kind)) {
-      const auto [d0, d1] = diag_of(g, params);
-      apply_diag1(g.q0, d0, d1);
-      return;
-    }
-    switch (g.kind) {
-      case GateKind::kX: apply_matrix1(g.q0, 0, 1, 1, 0); break;
-      case GateKind::kY: apply_matrix1(g.q0, 0, -i_unit, i_unit, 0); break;
-      case GateKind::kH: {
-        const double s = 1.0 / std::sqrt(2.0);
-        apply_matrix1(g.q0, s, s, s, -s);
-        break;
-      }
-      case GateKind::kRx:
-        apply_matrix1(g.q0, std::cos(half), -i_unit * std::sin(half),
-                      -i_unit * std::sin(half), std::cos(half));
-        break;
-      case GateKind::kRy:
-        apply_matrix1(g.q0, std::cos(half), -std::sin(half), std::sin(half),
-                      std::cos(half));
-        break;
-      case GateKind::kCnot: apply_cnot(g.q0, g.q1); break;
-      case GateKind::kCz: apply_cz(g.q0, g.q1); break;
-      case GateKind::kSwap: apply_swap(g.q0, g.q1); break;
-      case GateKind::kXXrot: apply_xxrot(g.q0, g.q1, angle); break;
-      case GateKind::kXYrot: apply_xyrot(g.q0, g.q1, angle); break;
-      case GateKind::kZ:
-      case GateKind::kS:
-      case GateKind::kSdg:
-      case GateKind::kRz: break;  // handled by the diagonal path above
-    }
+    FEMTO_EXPECTS(g.q0 < n_ && (!g.two_qubit() || g.q1 < n_));
+    detail::apply_gate_raw(amps_.data(), amps_.size(), 0, g, params);
   }
 
   void apply_circuit(const circuit::QuantumCircuit& c,
                      std::span<const double> params = {}) {
     FEMTO_EXPECTS(c.num_qubits() <= n_);
-    const auto& gates = c.gates();
-    for (std::size_t k = 0; k < gates.size(); ++k) {
-      const circuit::Gate& g = gates[k];
-      if (is_diag1(g.kind)) {
-        // Fuse a run of consecutive diagonal gates on the same qubit into
-        // one streaming pass.
-        auto [d0, d1] = diag_of(g, params);
-        while (k + 1 < gates.size() && is_diag1(gates[k + 1].kind) &&
-               gates[k + 1].q0 == g.q0) {
-          ++k;
-          const auto [e0, e1] = diag_of(gates[k], params);
-          d0 *= e0;
-          d1 *= e1;
-        }
-        apply_diag1(g.q0, d0, d1);
-        continue;
-      }
-      apply_gate(g, params);
-    }
+    detail::apply_circuit_raw(amps_.data(), amps_.size(), 0, c, params);
   }
 
   // --- Pauli strings ---------------------------------------------------
@@ -162,7 +244,7 @@ class StateVector {
     FEMTO_EXPECTS(p.is_hermitian());
     const double sgn = p.sign().real();
     const double half = sgn * angle / 2;
-    kernels::apply_pauli_exp(amps_.data(), amps_.size(), masks(p),
+    kernels::apply_pauli_exp(amps_.data(), amps_.size(), detail::make_masks(p),
                              std::cos(half), std::sin(half));
   }
 
@@ -170,7 +252,7 @@ class StateVector {
   void accumulate_pauli(const pauli::PauliString& p, Complex coeff,
                         std::vector<Complex>& out) const {
     FEMTO_EXPECTS(out.size() == amps_.size());
-    kernels::accumulate_pauli(amps_.data(), amps_.size(), masks(p),
+    kernels::accumulate_pauli(amps_.data(), amps_.size(), detail::make_masks(p),
                               coeff * p.sign(), out.data());
   }
 
@@ -212,51 +294,6 @@ class StateVector {
   }
 
  private:
-  [[nodiscard]] static double resolved_angle(const circuit::Gate& g,
-                                             std::span<const double> params) {
-    return g.param >= 0
-               ? g.angle * params[static_cast<std::size_t>(g.param)]
-               : g.angle;
-  }
-
-  [[nodiscard]] static bool is_diag1(circuit::GateKind k) {
-    using circuit::GateKind;
-    return k == GateKind::kZ || k == GateKind::kS || k == GateKind::kSdg ||
-           k == GateKind::kRz;
-  }
-
-  /// Diagonal (d0, d1) of a single-qubit diagonal gate.
-  [[nodiscard]] static std::pair<Complex, Complex> diag_of(
-      const circuit::Gate& g, std::span<const double> params) {
-    using circuit::GateKind;
-    const Complex i_unit{0.0, 1.0};
-    switch (g.kind) {
-      case GateKind::kZ: return {{1.0, 0.0}, {-1.0, 0.0}};
-      case GateKind::kS: return {{1.0, 0.0}, i_unit};
-      case GateKind::kSdg: return {{1.0, 0.0}, -i_unit};
-      case GateKind::kRz: {
-        const double half = resolved_angle(g, params) / 2;
-        return {std::exp(-i_unit * half), std::exp(i_unit * half)};
-      }
-      default: FEMTO_EXPECTS(false && "not a single-qubit diagonal gate");
-    }
-    return {{1.0, 0.0}, {1.0, 0.0}};
-  }
-
-  /// Packed masks of a string (n_ <= 28, so one word holds everything).
-  [[nodiscard]] static kernels::PauliMasks masks(const pauli::PauliString& p) {
-    kernels::PauliMasks m;
-    m.x = p.x().mask64();
-    m.z = p.z().mask64();
-    switch (std::popcount(m.x & m.z) & 3) {
-      case 1: m.y_factor = Complex(0, 1); break;
-      case 2: m.y_factor = Complex(-1, 0); break;
-      case 3: m.y_factor = Complex(0, -1); break;
-      default: break;
-    }
-    return m;
-  }
-
   std::size_t n_;
   std::vector<Complex> amps_;
 };

@@ -22,6 +22,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "gf2/wordops.hpp"
 #include "pauli/pauli_string.hpp"
 #include "synth/target.hpp"
 
@@ -59,19 +60,12 @@ struct CommonSupport {
 [[nodiscard]] inline CommonSupport common_support_counts(
     const gf2::BitVec& x1, const gf2::BitVec& z1, const gf2::BitVec& x2,
     const gf2::BitVec& z2) {
-  CommonSupport out;
-  const auto& wx1 = x1.words();
-  const auto& wz1 = z1.words();
-  const auto& wx2 = x2.words();
-  const auto& wz2 = z2.words();
-  for (std::size_t w = 0; w < wx1.size(); ++w) {
-    const std::uint64_t common =
-        (wx1[w] | wz1[w]) & (wx2[w] | wz2[w]);
-    out.common += __builtin_popcountll(common);
-    out.equal += __builtin_popcountll(common & ~(wx1[w] ^ wx2[w]) &
-                                      ~(wz1[w] ^ wz2[w]));
-  }
-  return out;
+  // Fused SIMD-dispatched reduction over the raw word spans (wordops.hpp);
+  // the has_xy flag it also produces is free and ignored here.
+  const gf2::wordops::SupportCounts c = gf2::wordops::support_counts(
+      x1.word_data(), z1.word_data(), x2.word_data(), z2.word_data(),
+      x1.word_count());
+  return CommonSupport{c.common, c.equal};
 }
 
 }  // namespace detail
@@ -111,23 +105,16 @@ struct CommonSupport {
                                                    const gf2::BitVec& z1,
                                                    const gf2::BitVec& x2,
                                                    const gf2::BitVec& z2) {
-  const auto& wx1 = x1.words();
-  const auto& wz1 = z1.words();
-  const auto& wx2 = x2.words();
-  const auto& wz2 = z2.words();
-  int common = 0, equal = 0;
-  bool has_xy = false;
-  for (std::size_t w = 0; w < wx1.size(); ++w) {
-    const std::uint64_t c = (wx1[w] | wz1[w]) & (wx2[w] | wz2[w]);
-    common += __builtin_popcountll(c);
-    equal += __builtin_popcountll(c & ~(wx1[w] ^ wx2[w]) & ~(wz1[w] ^ wz2[w]));
-    // X/Y collisions: both x bits set, z bits differing.
-    has_xy = has_xy || (wx1[w] & wx2[w] & (wz1[w] ^ wz2[w])) != 0;
-  }
-  if (common == 0) return -1;
-  if (has_xy) return common - 1 + equal;
-  if (equal > 0) return common - 1 + equal - 1;
-  return common - 1;
+  // One fused SIMD-dispatched pass yields all three quantities: the common
+  // support, its equal-letter subset, and the X/Y-collision flag (both x
+  // bits set, z bits differing).
+  const gf2::wordops::SupportCounts c = gf2::wordops::support_counts(
+      x1.word_data(), z1.word_data(), x2.word_data(), z2.word_data(),
+      x1.word_count());
+  if (c.common == 0) return -1;
+  if (c.has_xy) return c.common - 1 + c.equal;
+  if (c.equal > 0) return c.common - 1 + c.equal - 1;
+  return c.common - 1;
 }
 
 [[nodiscard]] inline int best_shared_target_saving(const pauli::PauliString& p1,
@@ -352,7 +339,7 @@ class StringCostCache {
   static constexpr std::uint64_t kMinSlot = 63;
 
   [[nodiscard]] static std::uint64_t support_word(const pauli::PauliString& p) {
-    return p.x().words()[0] | p.z().words()[0];
+    return p.x().word_data()[0] | p.z().word_data()[0];
   }
 
   [[nodiscard]] int min_cost_direct(const pauli::PauliString& p) const {

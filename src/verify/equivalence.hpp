@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "sim/batched.hpp"
 #include "sim/stabilizer.hpp"
 #include "sim/statevector.hpp"
 #include "verify/pauli_propagation.hpp"
@@ -153,6 +154,10 @@ class EquivalenceChecker {
         sv.apply_circuit(a, params);
       }, [&](sim::StateVector& sv, std::span<const double> params) {
         sv.apply_circuit(b, params);
+      }, [&](sim::BatchedState& bs) {
+        bs.apply_circuit(a);
+      }, [&](sim::BatchedState& bs) {
+        bs.apply_circuit(b);
       }, std::max(a.num_params(), b.num_params()), a.num_qubits());
     return report;
   }
@@ -178,6 +183,10 @@ class EquivalenceChecker {
       sv.apply_circuit(circuit, params);
     }, [&](sim::StateVector& sv, std::span<const double> params) {
       apply_spec(sv, spec, params);
+    }, [&](sim::BatchedState& bs) {
+      bs.apply_circuit(circuit);
+    }, [&](sim::BatchedState& bs) {
+      apply_spec_batched(bs, spec);
     }, num_params, n);
   }
 
@@ -278,6 +287,20 @@ class EquivalenceChecker {
     }
   }
 
+  /// Literal-angle spec application across all trial lanes at once (only
+  /// reached from the batched arbitration path, where num_params == 0).
+  static void apply_spec_batched(sim::BatchedState& bs,
+                                 const CompilationSpec& spec) {
+    for (const SpecOp& op : spec) {
+      if (op.kind == SpecOp::Kind::kGate) {
+        bs.apply_gate(op.gate);
+        continue;
+      }
+      FEMTO_EXPECTS(op.block.param < 0);
+      bs.apply_pauli_exp(op.block.string, op.block.angle_coeff);
+    }
+  }
+
   /// Tier 3: random states and random parameter draws decide a tier-2
   /// mismatch. Both sides see identical draws; states are compared entry by
   /// entry after global-phase alignment (LINEAR sensitivity in any angle
@@ -285,11 +308,41 @@ class EquivalenceChecker {
   /// quadratically and wave small corruptions through). A counterexample is
   /// decisive (proven); agreement is probabilistic, so acceptance stays
   /// proven == false.
-  template <typename ApplyA, typename ApplyB>
+  template <typename ApplyA, typename ApplyB, typename BatchApplyA,
+            typename BatchApplyB>
   [[nodiscard]] EquivalenceReport arbitrate_dense(
       const EquivalenceReport& symbolic, ApplyA&& apply_a, ApplyB&& apply_b,
-      int num_params, std::size_t n) const {
+      BatchApplyA&& batch_apply_a, BatchApplyB&& batch_apply_b, int num_params,
+      std::size_t n) const {
     Rng rng(options_.seed);
+    if (num_params <= 0 && options_.dense_trials > 0) {
+      // Literal-angle case: every trial shares the (empty) parameter draw,
+      // so all trial states advance together through one batched circuit
+      // application (sim::BatchedState). The draws, per-trial amplitudes and
+      // verdicts are identical to the per-trial loop below: the parameter
+      // loop there draws nothing when num_params == 0, and the batched
+      // kernels are bit-identical to the per-state ones.
+      std::vector<sim::StateVector> states;
+      states.reserve(static_cast<std::size_t>(options_.dense_trials));
+      for (int trial = 0; trial < options_.dense_trials; ++trial) {
+        sim::StateVector sv(n);
+        for (auto& amp : sv.amplitudes())
+          amp = sim::Complex{rng.normal(), rng.normal()};
+        sv.normalize();
+        states.push_back(std::move(sv));
+      }
+      sim::BatchedState ba = sim::BatchedState::from_states(states);
+      sim::BatchedState bb = sim::BatchedState::from_states(states);
+      batch_apply_a(ba);
+      batch_apply_b(bb);
+      for (int trial = 0; trial < options_.dense_trials; ++trial) {
+        const std::size_t t = static_cast<std::size_t>(trial);
+        const double diff = phase_aligned_distance(ba.lane(t), bb.lane(t));
+        if (diff > std::sqrt(options_.tol))
+          return dense_counterexample(symbolic, diff);
+      }
+      return dense_agreement();
+    }
     for (int trial = 0; trial < options_.dense_trials; ++trial) {
       std::vector<double> params(static_cast<std::size_t>(
           std::max(0, num_params)));
@@ -302,16 +355,24 @@ class EquivalenceChecker {
       apply_a(sa, std::span<const double>(params));
       apply_b(sb, std::span<const double>(params));
       const double diff = phase_aligned_distance(sa, sb);
-      if (diff > std::sqrt(options_.tol)) {
-        EquivalenceReport report = symbolic;
-        report.method = EquivalenceMethod::kDenseSpotCheck;
-        report.status = EquivalenceStatus::kNotEquivalent;
-        report.proven = true;
-        report.detail += " (dense spot-check confirms: max state deviation " +
-                         std::to_string(diff) + ")";
-        return report;
-      }
+      if (diff > std::sqrt(options_.tol))
+        return dense_counterexample(symbolic, diff);
     }
+    return dense_agreement();
+  }
+
+  [[nodiscard]] static EquivalenceReport dense_counterexample(
+      const EquivalenceReport& symbolic, double diff) {
+    EquivalenceReport report = symbolic;
+    report.method = EquivalenceMethod::kDenseSpotCheck;
+    report.status = EquivalenceStatus::kNotEquivalent;
+    report.proven = true;
+    report.detail += " (dense spot-check confirms: max state deviation " +
+                     std::to_string(diff) + ")";
+    return report;
+  }
+
+  [[nodiscard]] EquivalenceReport dense_agreement() const {
     EquivalenceReport report;
     report.method = EquivalenceMethod::kDenseSpotCheck;
     report.status = EquivalenceStatus::kEquivalent;

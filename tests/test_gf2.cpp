@@ -36,6 +36,44 @@ TEST(BitVec, XorAndDot) {
   EXPECT_TRUE(a.dot(c));
 }
 
+// Property test for the tail invariant documented in bitvec.hpp: every bit
+// at position >= size() in the final storage word stays zero through every
+// mutating operation. The word-reading reduction kernels (popcount, parity,
+// dot, the SIMD paths in wordops.hpp, hash_value) depend on this to scan
+// whole words without masking the tail.
+TEST(BitVec, TailPaddingInvariant) {
+  Rng rng(20230807);
+  const auto padding_clear = [](const BitVec& v) {
+    if (v.size() % 64 == 0) return true;  // no padding bits exist
+    const std::uint64_t tail = v.word_data()[v.word_count() - 1];
+    return (tail >> (v.size() % 64)) == 0;
+  };
+  for (const std::size_t n : {1u, 63u, 64u, 65u, 127u, 129u, 255u, 257u}) {
+    BitVec a(n), b(n);
+    ASSERT_TRUE(padding_clear(a)) << "fresh n=" << n;
+    for (int step = 0; step < 200; ++step) {
+      const std::size_t i = rng.index(n);
+      switch (rng.index(6)) {
+        case 0: a.set(i, rng.bernoulli(0.5)); break;
+        case 1: a.flip(i); break;
+        case 2: a.set_u(i, rng.bernoulli(0.5)); break;
+        case 3: a ^= b; break;
+        case 4: a |= b; break;
+        case 5: a &= b; break;
+      }
+      b.flip_u(rng.index(n));
+      ASSERT_TRUE(padding_clear(a)) << "n=" << n << " step=" << step;
+      ASSERT_TRUE(padding_clear(b)) << "n=" << n << " step=" << step;
+      // The invariant is exactly what lets the word-reducers skip masking:
+      // a bit-by-bit recount must agree with the whole-word kernels.
+      std::size_t pop = 0;
+      for (std::size_t k = 0; k < n; ++k) pop += a.get(k) ? 1 : 0;
+      ASSERT_EQ(a.popcount(), pop);
+      ASSERT_EQ(a.parity(), (pop & 1) != 0);
+    }
+  }
+}
+
 TEST(BitVec, LowestSet) {
   BitVec v(130);
   EXPECT_EQ(v.lowest_set(), 130u);
