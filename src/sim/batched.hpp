@@ -38,15 +38,26 @@ namespace femto::sim {
 
 class BatchedState {
  public:
+  /// Ceiling on n + lane_pow: the padded buffer never exceeds 2^28
+  /// amplitudes (4 GiB).
+  static constexpr std::size_t kMaxPaddedQubits = 28;
+
+  /// True when (n, batch) fits the padded SoA representation -- the same
+  /// contract the constructor enforces with FEMTO_EXPECTS. Callers that
+  /// want a graceful fallback (e.g. the dense verification arbiter) check
+  /// this instead of letting the constructor abort.
+  [[nodiscard]] static bool fits(std::size_t n, std::size_t batch) {
+    if (batch < 1 || batch > (std::size_t{1} << kMaxPaddedQubits))
+      return false;
+    return n + lane_pow_for(batch) <= kMaxPaddedQubits;
+  }
+
   /// B copies of |0...0> on n qubits.
   BatchedState(std::size_t n, std::size_t batch)
       : n_(n),
         batch_(batch),
-        lane_pow_(static_cast<std::size_t>(
-            std::bit_width(std::bit_ceil(batch) >> 1))),
+        lane_pow_(checked_lane_pow(n, batch)),
         amps_((std::size_t{1} << (n + lane_pow_)), Complex{0.0, 0.0}) {
-    FEMTO_EXPECTS(batch >= 1);
-    FEMTO_EXPECTS(n + lane_pow_ <= 28);
     for (std::size_t b = 0; b < batch_; ++b) amps_[b] = 1.0;
   }
 
@@ -189,6 +200,21 @@ class BatchedState {
   }
 
  private:
+  [[nodiscard]] static std::size_t lane_pow_for(std::size_t batch) {
+    return static_cast<std::size_t>(std::bit_width(std::bit_ceil(batch) >> 1));
+  }
+
+  /// Validates (n, batch) BEFORE amps_ is allocated: lane_pow_ precedes
+  /// amps_ in declaration order, so an invalid request aborts here rather
+  /// than after an oversized-shift (UB for n + lane_pow >= 64) or a
+  /// multi-GiB allocation attempt.
+  [[nodiscard]] static std::size_t checked_lane_pow(std::size_t n,
+                                                    std::size_t batch) {
+    FEMTO_EXPECTS(batch >= 1);
+    FEMTO_EXPECTS(fits(n, batch));
+    return lane_pow_for(batch);
+  }
+
   /// Per-lane Pauli exponential over the padded array. Same sub-run
   /// decomposition as kernels::apply_pauli_exp (phases are constant over
   /// aligned runs below ctz of the shifted masks, and every padded sub-run

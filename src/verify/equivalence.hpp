@@ -24,6 +24,7 @@
 #pragma once
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <span>
 #include <string>
@@ -315,7 +316,18 @@ class EquivalenceChecker {
       BatchApplyA&& batch_apply_a, BatchApplyB&& batch_apply_b, int num_params,
       std::size_t n) const {
     Rng rng(options_.seed);
-    if (num_params <= 0 && options_.dense_trials > 0) {
+    // Batching pads the trial count to a power of two and holds two padded
+    // copies at once, so it only runs when that stays cheap: the padded
+    // buffer must be representable at all (BatchedState::fits -- near the
+    // n = 28 dense ceiling it is not) and no bigger than 2^24 amplitudes
+    // (256 MiB per copy). Otherwise the per-trial loop below decides the
+    // same verdict with the pre-batched memory profile of 2 * 2^n.
+    const std::size_t trials =
+        static_cast<std::size_t>(std::max(0, options_.dense_trials));
+    const bool batchable =
+        trials > 0 && sim::BatchedState::fits(n, trials) &&
+        (std::bit_ceil(trials) << n) <= (std::size_t{1} << 24);
+    if (num_params <= 0 && options_.dense_trials > 0 && batchable) {
       // Literal-angle case: every trial shares the (empty) parameter draw,
       // so all trial states advance together through one batched circuit
       // application (sim::BatchedState). The draws, per-trial amplitudes and
@@ -323,7 +335,7 @@ class EquivalenceChecker {
       // loop there draws nothing when num_params == 0, and the batched
       // kernels are bit-identical to the per-state ones.
       std::vector<sim::StateVector> states;
-      states.reserve(static_cast<std::size_t>(options_.dense_trials));
+      states.reserve(trials);
       for (int trial = 0; trial < options_.dense_trials; ++trial) {
         sim::StateVector sv(n);
         for (auto& amp : sv.amplitudes())
@@ -332,7 +344,11 @@ class EquivalenceChecker {
         states.push_back(std::move(sv));
       }
       sim::BatchedState ba = sim::BatchedState::from_states(states);
-      sim::BatchedState bb = sim::BatchedState::from_states(states);
+      // The staging states are no longer needed: release them before the
+      // second padded copy so peak memory is staging + one copy, not
+      // staging + two.
+      states = {};
+      sim::BatchedState bb = ba;
       batch_apply_a(ba);
       batch_apply_b(bb);
       for (int trial = 0; trial < options_.dense_trials; ++trial) {

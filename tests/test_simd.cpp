@@ -414,6 +414,23 @@ TEST(BatchedState, ExpectationsMatchPerState) {
   }
 }
 
+TEST(BatchedState, FitsMatchesConstructorContract) {
+  // fits() is the graceful-fallback probe for the abort-on-violation
+  // constructor precondition: n + lane_pow (lanes = bit_ceil(batch)) must
+  // stay within the 2^28-amplitude padded-buffer ceiling.
+  EXPECT_TRUE(sim::BatchedState::fits(3, 1));
+  EXPECT_TRUE(sim::BatchedState::fits(28, 1));
+  EXPECT_FALSE(sim::BatchedState::fits(28, 2));
+  EXPECT_TRUE(sim::BatchedState::fits(24, 16));
+  EXPECT_FALSE(sim::BatchedState::fits(24, 17));  // pads to 32 lanes
+  EXPECT_TRUE(sim::BatchedState::fits(0, std::size_t{1} << 28));
+  EXPECT_FALSE(sim::BatchedState::fits(1, std::size_t{1} << 28));
+  EXPECT_FALSE(sim::BatchedState::fits(3, 0));
+  // Far past the ceiling: must return false, not overflow the shift.
+  EXPECT_FALSE(sim::BatchedState::fits(60, 16));
+  EXPECT_FALSE(sim::BatchedState::fits(3, ~std::size_t{0}));
+}
+
 TEST(BatchedState, AppliedCounterAdvances) {
   const std::uint64_t before =
       obs::registry().counter("sim.batched_states_applied").value();
