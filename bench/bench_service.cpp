@@ -26,12 +26,26 @@
 //   shutdown/clean_shutdown             ABS_EXACT 1.0 -- the graceful
 //       shutdown handshake drains both daemons; an external femtod must
 //       exit 0.
+//   chaos/failpoint_disabled_zero_alloc ABS_EXACT 1.0 -- with no failpoint
+//       armed, a million FEMTO_FAILPOINT evaluations perform zero heap
+//       allocations (the disabled path is one relaxed atomic load).
+//   chaos/chaos_db_survived             ABS_EXACT 1.0 -- short-write and
+//       fsync faults injected into a database rewrite leave the previous
+//       .fdb byte-identical and loadable (crash-safe persistence).
+//   chaos/chaos_responses_identical     ABS_EXACT 1.0 -- a retrying client
+//       fleet driven through wire-armed service.recv connection drops
+//       completes every request byte-identical to in-process.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <new>
 #include <optional>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -40,11 +54,42 @@
 
 #include "bench_fixtures.hpp"
 #include "bench_harness.hpp"
+#include "common/failpoint.hpp"
 #include "core/pipeline.hpp"
 #include "db/database.hpp"
 #include "service/client.hpp"
 #include "service/protocol.hpp"
 #include "service/server.hpp"
+
+// The chaos section's failpoint_disabled_zero_alloc metric pins the
+// fault-injection framework's disabled-path cost contract (one relaxed
+// atomic load, no allocation) in a Release binary: every allocation in the
+// process bumps a counter, and a million disabled evaluations must not
+// move it. Same replacement-allocator pattern as test_obs / test_failpoint.
+//
+// GCC's -Wmismatched-new-delete pairs our malloc-backed replacement
+// operator new with the free() inside our replacement operator delete at
+// inlined STL call sites and mis-reports a mismatch; the replacement pair
+// is consistent (new -> malloc, delete -> free) by construction.
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace {
 
@@ -131,6 +176,28 @@ double stats_field(service::CompileClient& client, const char* key) {
   if (!stats.has_value()) return -1.0;
   const service::json::Value* v = stats->find(key);
   return v != nullptr && v->is_number() ? v->as_double() : -1.0;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return in ? out.str() : "";
+}
+
+/// The `failpoints` op on a fresh connection, retried: while service.recv
+/// is armed the daemon may tear the admin connection down before reading
+/// the line, so the op itself must be driven with retries. Arming and
+/// disarming are idempotent, so a dropped reply is safe to re-send.
+bool failpoints_op_retry(const std::string& socket_path,
+                         const std::string& arm, const std::string& disarm) {
+  for (int attempt = 0; attempt < 20; ++attempt) {
+    auto client = make_client(socket_path);
+    if (!client.has_value()) continue;
+    std::string err;
+    if (client->failpoints(arm, disarm, err).has_value()) return true;
+  }
+  return false;
 }
 
 }  // namespace
@@ -364,6 +431,102 @@ int main(int argc, char** argv) {
   // ---- graceful shutdown ------------------------------------------------
   h.section("shutdown");
   h.metric("clean_shutdown", clean ? 1.0 : 0.0);
+
+  // ---- chaos: failpoint cost, crash-safe rewrites, fleet under drops ----
+  h.section("chaos");
+  {
+    // Disabled-cost contract: with nothing armed anywhere in the process,
+    // FEMTO_FAILPOINT is one relaxed atomic load -- zero heap allocations
+    // over a million evaluations. Must run before anything below arms.
+    fail::registry().disarm_all();
+    std::uint64_t fired = 0;
+    const std::uint64_t before = g_allocations.load();
+    for (int i = 0; i < 1000000; ++i)
+      if (FEMTO_FAILPOINT("bench.disabled.probe")) ++fired;
+    const std::uint64_t delta = g_allocations.load() - before;
+    h.metric("failpoint_disabled_zero_alloc",
+             delta == 0 && fired == 0 ? 1.0 : 0.0);
+    h.metric("info_disabled_evaluations", 1e6);
+  }
+  {
+    // Crash-safe persistence: a rewrite that fails short or cannot fsync
+    // must leave the previously published .fdb byte-identical and
+    // loadable (the torn-write *kill* variant runs in test_db and
+    // femtod_chaos, where a forked child can die safely).
+    const std::string chaos_db_path = socket_base + "-chaos.fdb";
+    bool chaos_db_ok = false;
+    db::DatabaseBuilder builder;
+    bool recorded = true;
+    {
+      core::CompilePipeline recorder({.workers = 2});
+      recorder.set_store(&builder);
+      for (const core::CompileRequest& r : requests)
+        recorded = recorder.compile(r).done() && recorded;
+    }
+    if (recorded && builder.write(chaos_db_path).empty()) {
+      const std::string bytes = read_file(chaos_db_path);
+      fail::registry().arm_one({"db.write.short", 1.0, 1});
+      const std::string short_err = builder.write(chaos_db_path);
+      fail::registry().disarm_all();
+      fail::registry().arm_one({"db.fsync", 1.0, 1});
+      const std::string fsync_err = builder.write(chaos_db_path);
+      fail::registry().disarm_all();
+      std::string open_err;
+      chaos_db_ok = !bytes.empty() && !short_err.empty() &&
+                    !fsync_err.empty() &&
+                    read_file(chaos_db_path) == bytes &&
+                    db::Database::open(chaos_db_path, &open_err).has_value();
+    }
+    ::unlink(chaos_db_path.c_str());
+    h.metric("chaos_db_survived", chaos_db_ok ? 1.0 : 0.0);
+  }
+  {
+    // Fleet resilience: arm service.recv over the wire (works against the
+    // in-process server and a forked femtod alike) and require a retrying
+    // client fleet to land every response byte-identical to in-process.
+    Daemon chaos_daemon = boot_daemon(femtod, socket_base + "-3.sock", "");
+    const bool armed =
+        failpoints_op_retry(chaos_daemon.socket_path, "service.recv:0.25:11",
+                            "");
+    std::atomic<int> fleet_failures{0};
+    std::atomic<int> fleet_mismatches{0};
+    const std::size_t kFleet = 2;
+    std::vector<std::thread> fleet;
+    for (std::size_t c = 0; c < kFleet; ++c) {
+      fleet.emplace_back([&, c] {
+        service::RetryPolicy policy;
+        policy.max_attempts = 60;
+        policy.base_delay_s = 0.005;
+        policy.max_delay_s = 0.1;
+        policy.seed = 40 + c;  // decorrelate the fleet's back-off
+        service::CompileClient client(chaos_daemon.socket_path, policy);
+        for (std::size_t i = 0; i < requests.size(); ++i) {
+          std::string cerr;
+          const auto served = client.compile_retry(
+              requests[i], "x" + std::to_string(c) + "-" + std::to_string(i),
+              cerr, /*include_circuit=*/true);
+          if (!served.has_value() ||
+              served->state != service::RequestState::kDone) {
+            std::fprintf(stderr, "bench_service: chaos compile failed: %s\n",
+                         cerr.c_str());
+            fleet_failures.fetch_add(1);
+          } else if (served->canonical_response != reference[i]) {
+            fleet_mismatches.fetch_add(1);
+          }
+        }
+      });
+    }
+    for (std::thread& t : fleet) t.join();
+    const bool disarmed =
+        failpoints_op_retry(chaos_daemon.socket_path, "", "all");
+    const bool chaos_clean = shutdown_daemon(chaos_daemon);
+    h.metric("chaos_responses_identical",
+             armed && disarmed && chaos_clean && fleet_failures.load() == 0 &&
+                     fleet_mismatches.load() == 0
+                 ? 1.0
+                 : 0.0);
+    h.metric("info_fleet_clients", static_cast<double>(kFleet));
+  }
 
   return h.write_json() ? 0 : 1;
 }

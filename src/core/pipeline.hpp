@@ -50,6 +50,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/failpoint.hpp"
 #include "common/parallel.hpp"
 #include "core/compiler.hpp"
 #include "db/database.hpp"
@@ -228,6 +229,14 @@ struct PipelineOptions {
   /// database enabled, disabled, cold, or warm -- and verify-on-compile
   /// certifies served artifacts like any other.
   std::string database_path;
+  /// Degrade instead of aborting when database_path fails to open: the
+  /// pipeline logs loudly, raises the service.degraded gauge, and serves
+  /// from pure in-process synthesis. Because the database only memoizes a
+  /// pure function, degraded results are bit-identical to a pipeline with
+  /// no database at all. Default off: an unopenable database stays a hard
+  /// constructor error unless the operator opted into degradation
+  /// (femtod --degrade-on-db-error).
+  bool degrade_on_db_error = false;
   /// Memory bound for the shared synthesis cache (0 fields = unbounded).
   synth::SynthesisCache::Budget cache_budget;
 
@@ -263,12 +272,25 @@ class CompilePipeline {
       std::string err;
       database_ = db::Database::open(options_.database_path, &err);
       if (!database_.has_value()) {
-        std::fprintf(stderr, "femto: cannot open compilation database: %s\n",
-                     err.c_str());
-        FEMTO_EXPECTS(false &&
-                      "cannot open compilation database (diagnostic above)");
+        if (options_.degrade_on_db_error) {
+          db_degraded_ = true;
+          obs::registry().gauge("service.degraded").set(1);
+          std::fprintf(
+              stderr,
+              "femto: DEGRADED: cannot open compilation database: %s; "
+              "serving from in-process synthesis only (results remain "
+              "bit-identical to a database-free pipeline)\n",
+              err.c_str());
+        } else {
+          std::fprintf(stderr,
+                       "femto: cannot open compilation database: %s\n",
+                       err.c_str());
+          FEMTO_EXPECTS(false &&
+                        "cannot open compilation database (diagnostic above)");
+        }
+      } else {
+        cache_.set_store(&*database_);
       }
-      cache_.set_store(&*database_);
     }
   }
 
@@ -283,6 +305,9 @@ class CompilePipeline {
   [[nodiscard]] const db::Database* database() const {
     return database_.has_value() ? &*database_ : nullptr;
   }
+  /// True iff database_path was set but failed to open and
+  /// degrade_on_db_error accepted serving without it.
+  [[nodiscard]] bool db_degraded() const { return db_degraded_; }
   /// Attaches a second-level store (e.g. a db::DatabaseBuilder recording a
   /// cold run for femto-db). Replaces the database from database_path; call
   /// before compiling, not concurrently with it.
@@ -531,6 +556,16 @@ class CompilePipeline {
       if (options_.share_synthesis_cache && options.emit_circuit)
         options.synthesis_cache = &cache_;
       results[i] = compile_vqe(jobs[i].num_qubits, *jobs[i].terms, options);
+      if (FEMTO_FAILPOINT("pipeline.restart")) {
+        // Injected transient fault at the restart boundary: throw the
+        // finished job away and recompute it. compile_vqe is a pure
+        // function of (scenario, derived seed), so the retry is
+        // bit-identical -- chaos runs pin exactly that.
+        static obs::Counter& restart_retries =
+            obs::registry().counter("pipeline.restart_retries");
+        restart_retries.inc();
+        results[i] = compile_vqe(jobs[i].num_qubits, *jobs[i].terms, options);
+      }
       restarts_completed.inc();
       if (verify) {
         obs::Span vspan("verify", "pipeline");
@@ -595,6 +630,7 @@ class CompilePipeline {
   ThreadPool pool_;
   synth::SynthesisCache cache_;
   std::optional<db::Database> database_;
+  bool db_degraded_ = false;
   std::vector<verify::EquivalenceReport> last_verification_;
 };
 

@@ -46,6 +46,7 @@
 #include <cerrno>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iterator>
 #include <map>
@@ -65,6 +66,7 @@
 #define FEMTO_DB_HAVE_MMAP 1
 #endif
 
+#include "common/failpoint.hpp"
 #include "db/canonical.hpp"
 #include "obs/metrics.hpp"
 #include "synth/synthesis_cache.hpp"
@@ -619,14 +621,64 @@ class DatabaseBuilder final : public synth::SynthesisStore {
     for (int byte = 0; byte < 4; ++byte)
       header[40 + byte] = static_cast<char>((header_crc >> (8 * byte)) & 0xff);
 
-    std::FILE* f = std::fopen(path.c_str(), "wb");
-    if (f == nullptr) return "cannot write '" + path + "'";
-    bool ok = std::fwrite(header.data(), 1, header.size(), f) == header.size();
-    for (const auto& [id, body] : sections)
-      ok = ok &&
-           std::fwrite(body->data(), 1, body->size(), f) == body->size();
+    // Crash-safe replacement: build the file as <path>.tmp.<pid>, fsync it,
+    // atomically rename over the final path, then fsync the directory. A
+    // crash, power cut, or injected fault (db.write.short / db.write.kill /
+    // db.fsync) at ANY point leaves the previous database byte-identical --
+    // readers only ever see the old complete file or the new complete file.
+#if defined(FEMTO_DB_HAVE_MMAP)
+    const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+#else
+    const std::string tmp = path + ".tmp";
+#endif
+    std::FILE* f = std::fopen(tmp.c_str(), "wb");
+    if (f == nullptr) return "cannot write '" + tmp + "'";
+    // Chunked writes give the kill/short failpoints mid-file granularity
+    // (a torn tmp really is torn, not empty).
+    const auto put = [&f](const std::string& body) -> bool {
+      constexpr std::size_t kChunk = std::size_t{64} * 1024;
+      for (std::size_t pos = 0; pos < body.size(); pos += kChunk) {
+        const std::size_t n = std::min(kChunk, body.size() - pos);
+        if (FEMTO_FAILPOINT("db.write.kill")) {
+          std::fflush(f);
+          std::_Exit(137);  // simulated crash mid-write; tmp is torn
+        }
+        if (FEMTO_FAILPOINT("db.write.short")) {
+          (void)!std::fwrite(body.data() + pos, 1, n / 2, f);
+          return false;
+        }
+        if (std::fwrite(body.data() + pos, 1, n, f) != n) return false;
+      }
+      return true;
+    };
+    bool ok = put(header);
+    for (const auto& [id, body] : sections) ok = ok && put(*body);
+    ok = ok && std::fflush(f) == 0;
+#if defined(FEMTO_DB_HAVE_MMAP)
+    if (ok && (FEMTO_FAILPOINT("db.fsync") || ::fsync(::fileno(f)) != 0))
+      ok = false;
+#endif
     ok = std::fclose(f) == 0 && ok;
-    if (!ok) return "short write on '" + path + "'";
+    if (!ok) {
+      std::remove(tmp.c_str());
+      return "short write on '" + tmp + "' (previous '" + path +
+             "' left intact)";
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+      std::remove(tmp.c_str());
+      return "cannot rename '" + tmp + "' over '" + path + "'";
+    }
+#if defined(FEMTO_DB_HAVE_MMAP)
+    // Durability of the rename itself: fsync the containing directory.
+    const std::size_t slash = path.find_last_of('/');
+    const std::string dir =
+        slash == std::string::npos ? "." : path.substr(0, slash + 1);
+    const int dfd = ::open(dir.c_str(), O_RDONLY);
+    if (dfd >= 0) {
+      (void)::fsync(dfd);
+      ::close(dfd);
+    }
+#endif
     return "";
   }
 

@@ -14,16 +14,26 @@
 //                                     persistent database lookups
 //              pipeline.compiles      CompilePipeline::compile() calls
 //              pipeline.restarts_completed / pipeline.restarts_skipped
+//              pipeline.restart_retries
+//                                     restart jobs recomputed after an
+//                                     injected pipeline.restart fault
+//                                     (bit-identical by purity)
 //              solver.sa_solves / solver.sa_steps
 //              solver.gtsp_solves / solver.gtsp_generations
 //              service.submitted / service.coalesced / service.done /
 //              service.cancelled / service.deadline_exceeded /
 //              service.rejected / service.works_run / service.plans_served
+//              service.retries        CompileClient::compile_retry attempts
+//                                     beyond the first
+//              service.reconnects     client connections re-established
+//                                     after a transport fault
 //              sim.batched_states_applied
 //                                     states advanced by BatchedState ops
 //                                     (batch size per gate/circuit/sweep)
 //   gauges     service.queue_depth    live admission-queue length
 //              service.in_flight      submitted tickets not yet terminal
+//              service.degraded       1 once a pipeline entered degraded
+//                                     (database-less) serving
 //              sim.simd_level         active kernel dispatch level
 //                                     (0 portable, 1 AVX2, 2 AVX-512)
 //   histograms service.request_latency_s   submit -> terminal, seconds

@@ -10,7 +10,9 @@
 // byte equality is the serving determinism contract CI pins.
 #pragma once
 
+#include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstring>
 #include <optional>
 #include <string>
@@ -24,7 +26,10 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include "common/rng.hpp"
+#include "obs/metrics.hpp"
 #include "service/lifecycle.hpp"
+#include "service/net.hpp"
 #include "service/protocol.hpp"
 
 namespace femto::service {
@@ -38,15 +43,22 @@ class ClientConnection {
   ClientConnection& operator=(const ClientConnection&) = delete;
   ClientConnection(ClientConnection&& other) noexcept
       : fd_(std::exchange(other.fd_, -1)),
-        buffer_(std::move(other.buffer_)) {}
+        buffer_(std::move(other.buffer_)),
+        max_line_bytes_(other.max_line_bytes_) {}
   ClientConnection& operator=(ClientConnection&& other) noexcept {
     if (this != &other) {
       close();
       fd_ = std::exchange(other.fd_, -1);
       buffer_ = std::move(other.buffer_);
+      max_line_bytes_ = other.max_line_bytes_;
     }
     return *this;
   }
+
+  /// Longest reply line the client will buffer before treating the peer as
+  /// misbehaving (recv_line fails and the connection closes). Mirrors the
+  /// daemon-side SocketServerOptions.max_line_bytes guard.
+  void set_max_line_bytes(std::size_t n) { max_line_bytes_ = n; }
 
   /// Empty string on success, diagnostic otherwise.
   [[nodiscard]] std::string connect(const std::string& socket_path) {
@@ -58,8 +70,8 @@ class ClientConnection {
     std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
     fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
     if (fd_ < 0) return std::string("socket(): ") + std::strerror(errno);
-    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
-                  sizeof(addr)) != 0) {
+    if (net::connect_retry(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                           sizeof(addr)) != 0) {
       const std::string err = std::strerror(errno);
       close();
       return "connect(" + socket_path + "): " + err;
@@ -83,7 +95,8 @@ class ClientConnection {
     std::size_t off = 0;
     while (off < out.size()) {
       const ssize_t n =
-          ::send(fd_, out.data() + off, out.size() - off, MSG_NOSIGNAL);
+          net::send_retry(fd_, out.data() + off, out.size() - off,
+                          MSG_NOSIGNAL);
       if (n <= 0) return false;
       off += static_cast<std::size_t>(n);
     }
@@ -111,18 +124,27 @@ class ClientConnection {
         if (wait_ms < 0) return std::nullopt;
       }
       pollfd p{fd_, POLLIN, 0};
-      const int r = ::poll(&p, 1, wait_ms);
+      const int r = net::poll_retry(&p, wait_ms);
       if (r <= 0) return std::nullopt;
       char chunk[4096];
-      const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+      const ssize_t n = net::recv_retry(fd_, chunk, sizeof chunk);
       if (n <= 0) return std::nullopt;
       buffer_.append(chunk, static_cast<std::size_t>(n));
+      if (buffer_.size() > max_line_bytes_ &&
+          buffer_.find('\n') == std::string::npos) {
+        // Unbounded-buffer guard (client side of the daemon's
+        // max_line_bytes): a peer streaming bytes with no newline is
+        // misbehaving -- fail loudly and hang up.
+        close();
+        return std::nullopt;
+      }
     }
   }
 
  private:
   int fd_ = -1;
   std::string buffer_;
+  std::size_t max_line_bytes_ = std::size_t{256} << 20;
 };
 
 /// Polls until the daemon's socket accepts a connection (the portable
@@ -172,12 +194,62 @@ struct Served {
   std::string canonical_response;
 };
 
+/// Seeded, deterministic exponential-backoff-with-jitter retry schedule.
+/// The whole schedule is a pure function of (policy, attempt index), so a
+/// chaos run replays the same client timing every time -- and tests can
+/// assert the exact delays.
+struct RetryPolicy {
+  /// Total tries, the first one included. 1 = no retries.
+  std::size_t max_attempts = 8;
+  double base_delay_s = 0.01;
+  double max_delay_s = 1.0;
+  /// Fraction of each delay randomized away (0 = fixed schedule). Jitter
+  /// shrinks the delay, never grows it, so max_delay_s stays a hard bound.
+  double jitter = 0.5;
+  /// Seed of the jitter stream; distinct clients should use distinct seeds
+  /// so a failed fleet does not retry in lockstep.
+  std::uint64_t seed = 0;
+};
+
+/// Delay before retry number `retry` (1-based: the delay between attempt
+/// `retry` and attempt `retry + 1`).
+[[nodiscard]] inline double retry_delay_s(const RetryPolicy& policy,
+                                          std::size_t retry) {
+  if (retry == 0) return 0.0;
+  const std::size_t shift = std::min<std::size_t>(retry - 1, 30);
+  const double exp = std::min(
+      policy.max_delay_s,
+      policy.base_delay_s * static_cast<double>(std::uint64_t{1} << shift));
+  const std::uint64_t mixed =
+      splitmix64(policy.seed ^ (0x9e3779b97f4a7c15ULL * retry));
+  const double u = static_cast<double>(mixed >> 11) * 0x1.0p-53;  // [0, 1)
+  return exp * (1.0 - policy.jitter * u);
+}
+
 /// A blocking, single-request-at-a-time protocol client.
 class CompileClient {
  public:
   explicit CompileClient(ClientConnection conn) : conn_(std::move(conn)) {}
 
+  /// A client that can (re)connect on its own: compile_retry uses
+  /// `socket_path` to re-establish the connection after connect failures
+  /// and mid-request disconnects, pacing attempts by `policy`.
+  CompileClient(std::string socket_path, RetryPolicy policy)
+      : socket_path_(std::move(socket_path)), policy_(policy) {}
+
   [[nodiscard]] ClientConnection& connection() { return conn_; }
+  [[nodiscard]] const RetryPolicy& retry_policy() const { return policy_; }
+
+  /// Explicit (re)connect for clients built from a socket path; "" on
+  /// success. compile_retry also connects lazily -- this is for ops that
+  /// need a live connection up front (ping, stats, failpoints).
+  [[nodiscard]] std::string connect() {
+    if (conn_.connected()) return "";
+    if (socket_path_.empty()) return "no socket path to connect to";
+    const std::string err = conn_.connect(socket_path_);
+    if (err.empty()) ever_connected_ = true;
+    return err;
+  }
 
   [[nodiscard]] bool ping(int timeout_ms = 5000) {
     if (!conn_.send_line(R"({"op":"ping"})")) return false;
@@ -316,6 +388,102 @@ class CompileClient {
     }
   }
 
+  /// compile() under the client's RetryPolicy. Retried failure classes:
+  /// connect failures (daemon down or restarting), queue-full and draining
+  /// rejections (the server explicitly asked for back-off), and
+  /// mid-request transport faults (disconnect, timeout, torn reply). After
+  /// any transport fault the connection is closed and re-established so a
+  /// stale line from the dead attempt can never corrupt the next one (the
+  /// daemon cancels a disconnected client's tickets). Permanent rejections
+  /// (e.g. "invalid request") are returned immediately. Counted in the obs
+  /// registry as service.retries / service.reconnects.
+  [[nodiscard]] std::optional<Served> compile_retry(
+      const core::CompileRequest& request, const std::string& id,
+      std::string& error, bool include_circuit = false,
+      int timeout_ms = 120000) {
+    static obs::Counter& retries =
+        obs::registry().counter("service.retries");
+    static obs::Counter& reconnects =
+        obs::registry().counter("service.reconnects");
+    error.clear();
+    for (std::size_t attempt = 1; attempt <= policy_.max_attempts;
+         ++attempt) {
+      if (attempt > 1) {
+        retries.inc();
+        std::this_thread::sleep_for(std::chrono::duration<double>(
+            retry_delay_s(policy_, attempt - 1)));
+      }
+      if (!conn_.connected()) {
+        if (socket_path_.empty()) {
+          error = "not connected and no socket path to reconnect to";
+          return std::nullopt;
+        }
+        if (const std::string cerr = conn_.connect(socket_path_);
+            !cerr.empty()) {
+          error = cerr;
+          continue;
+        }
+        if (ever_connected_) reconnects.inc();
+        ever_connected_ = true;
+      }
+      std::string aerr;
+      std::optional<Served> served =
+          compile(request, id, aerr, include_circuit, timeout_ms);
+      if (!served.has_value()) {
+        // Transport fault or a failed ack: either way this connection's
+        // state is unknown -- drop it and retry on a fresh one.
+        error = aerr;
+        conn_.close();
+        continue;
+      }
+      if (served->state == RequestState::kRejected &&
+          retryable_rejection(served->response.detail)) {
+        // The server asked for back-off; the connection itself is healthy.
+        error = served->response.detail;
+        continue;
+      }
+      return served;
+    }
+    error = "gave up after " + std::to_string(policy_.max_attempts) +
+            " attempts: " + error;
+    return std::nullopt;
+  }
+
+  /// The `failpoints` chaos control op: lists the daemon's failpoint
+  /// registry; non-empty `arm` ("name:prob:seed,...") arms first,
+  /// non-empty `disarm` (a name or "all") disarms. nullopt + `error` on
+  /// transport failure or a rejected spec.
+  [[nodiscard]] std::optional<json::Value> failpoints(
+      const std::string& arm, const std::string& disarm, std::string& error,
+      int timeout_ms = 5000) {
+    json::Value msg = json::Value::object();
+    msg.set("op", json::Value::string("failpoints"));
+    if (!arm.empty()) msg.set("arm", json::Value::string(arm));
+    if (!disarm.empty()) msg.set("disarm", json::Value::string(disarm));
+    if (!conn_.send_line(msg.encode())) {
+      error = "send failed";
+      return std::nullopt;
+    }
+    const std::optional<std::string> line = conn_.recv_line(timeout_ms);
+    if (!line.has_value()) {
+      error = "connection closed waiting for failpoints reply";
+      return std::nullopt;
+    }
+    std::optional<json::Value> reply = json::parse(*line, &error);
+    if (!reply.has_value() || !reply->is_object()) {
+      error = "unparseable reply: " + *line;
+      return std::nullopt;
+    }
+    const json::Value* ok = reply->find("ok");
+    if (ok == nullptr || !ok->is_bool() || !ok->as_bool()) {
+      const json::Value* why = reply->find("error");
+      error = why != nullptr && why->is_string() ? why->as_string()
+                                                 : "failpoints op failed";
+      return std::nullopt;
+    }
+    return reply;
+  }
+
   /// Graceful (or cancelling) shutdown handshake.
   [[nodiscard]] bool shutdown(bool cancel_queued = false,
                               int timeout_ms = 5000) {
@@ -344,7 +512,17 @@ class CompileClient {
     return msg;
   }
 
+  /// Rejections whose detail explicitly invites a retry. Anything else
+  /// (e.g. "invalid request: ...") is the caller's bug, not the weather.
+  [[nodiscard]] static bool retryable_rejection(const std::string& detail) {
+    return detail.rfind("queue full:", 0) == 0 ||
+           detail.rfind("service is draining", 0) == 0;
+  }
+
   ClientConnection conn_;
+  std::string socket_path_;
+  RetryPolicy policy_;
+  bool ever_connected_ = false;
 };
 
 }  // namespace femto::service

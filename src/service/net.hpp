@@ -1,0 +1,94 @@
+// EINTR-hardened POSIX socket helpers shared by the femtod server and the
+// CompileClient. Every raw ::recv/::send/::accept/::connect/::poll in
+// service/ goes through these wrappers: a signal delivered mid-syscall
+// (SIGCHLD from a forked daemon, a profiler's SIGPROF, ...) must never be
+// mistaken for a peer failure -- before this layer existed, one EINTR could
+// drop a connection or tear a half-read protocol line.
+//
+// All wrappers keep the underlying call's return-value contract (so call
+// sites read like the syscall they replace); only the EINTR handling is
+// added. poll_retry additionally re-computes the remaining timeout across
+// interruptions so a signal storm cannot extend a deadline.
+#pragma once
+
+#include <cerrno>
+#include <chrono>
+#include <cstddef>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+
+namespace femto::service::net {
+
+[[nodiscard]] inline ssize_t recv_retry(int fd, void* buf, std::size_t len,
+                                        int flags = 0) {
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, len, flags);
+    if (n >= 0 || errno != EINTR) return n;
+  }
+}
+
+[[nodiscard]] inline ssize_t send_retry(int fd, const void* buf,
+                                        std::size_t len, int flags = 0) {
+  for (;;) {
+    const ssize_t n = ::send(fd, buf, len, flags);
+    if (n >= 0 || errno != EINTR) return n;
+  }
+}
+
+[[nodiscard]] inline int accept_retry(int fd, sockaddr* addr,
+                                      socklen_t* addrlen) {
+  for (;;) {
+    const int client = ::accept(fd, addr, addrlen);
+    if (client >= 0 || errno != EINTR) return client;
+  }
+}
+
+/// connect(2) with EINTR completion: when a blocking connect is
+/// interrupted, the attempt continues asynchronously (POSIX), so retrying
+/// the call would race it -- instead poll for writability and read the
+/// final status from SO_ERROR. Returns 0 on success, -1 with errno set.
+[[nodiscard]] inline int connect_retry(int fd, const sockaddr* addr,
+                                       socklen_t addrlen) {
+  if (::connect(fd, addr, addrlen) == 0) return 0;
+  if (errno == EISCONN) return 0;
+  if (errno != EINTR) return -1;
+  pollfd pfd{};
+  pfd.fd = fd;
+  pfd.events = POLLOUT;
+  for (;;) {
+    const int r = ::poll(&pfd, 1, -1);
+    if (r > 0) break;
+    if (r < 0 && errno == EINTR) continue;
+    return -1;
+  }
+  int err = 0;
+  socklen_t len = sizeof(err);
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0) return -1;
+  if (err != 0) {
+    errno = err;
+    return -1;
+  }
+  return 0;
+}
+
+/// poll(2) on one fd that survives EINTR without stretching the deadline:
+/// the remaining timeout is recomputed from a steady clock after every
+/// interruption. timeout_ms < 0 blocks indefinitely.
+[[nodiscard]] inline int poll_retry(pollfd* pfd, int timeout_ms) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  int remaining = timeout_ms;
+  for (;;) {
+    const int r = ::poll(pfd, 1, remaining);
+    if (r >= 0 || errno != EINTR) return r;
+    if (timeout_ms < 0) continue;
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    remaining = static_cast<int>(left.count());
+    if (remaining <= 0) return 0;  // deadline passed while interrupted
+  }
+}
+
+}  // namespace femto::service::net

@@ -53,10 +53,12 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include "common/failpoint.hpp"
 #include "core/pipeline.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "service/lifecycle.hpp"
+#include "service/net.hpp"
 #include "service/protocol.hpp"
 
 namespace femto::service {
@@ -695,6 +697,11 @@ struct SocketServerOptions {
   std::string socket_path;
   ServiceOptions service;
   bool log = false;
+  /// Longest protocol line the daemon will buffer for one connection. A
+  /// peer that exceeds it without sending '\n' gets a loud protocol error
+  /// and the connection is closed -- a misbehaving client must not be able
+  /// to grow an unbounded buffer in the daemon.
+  std::size_t max_line_bytes = std::size_t{4} << 20;
 };
 
 class SocketServer {
@@ -806,10 +813,17 @@ class SocketServer {
   void accept_loop() {
     while (!accept_stop_.load()) {
       pollfd p{listen_fd_, POLLIN, 0};
-      const int r = ::poll(&p, 1, 200);
+      const int r = net::poll_retry(&p, 200);
       if (r <= 0) continue;
-      const int fd = ::accept(listen_fd_, nullptr, nullptr);
+      const int fd = net::accept_retry(listen_fd_, nullptr, nullptr);
       if (fd < 0) continue;
+      if (FEMTO_FAILPOINT("service.accept")) {
+        // Injected fault: drop the connection before reading a byte. The
+        // client sees EOF / a refused handshake and its retry policy
+        // reconnects.
+        ::close(fd);
+        continue;
+      }
       auto conn = std::make_shared<Conn>();
       conn->fd = fd;
       std::lock_guard<std::mutex> g(conns_mu_);
@@ -822,7 +836,14 @@ class SocketServer {
     std::string buffer;
     char chunk[4096];
     for (;;) {
-      const ssize_t n = ::recv(conn->fd, chunk, sizeof chunk, 0);
+      if (FEMTO_FAILPOINT("service.recv")) {
+        // Injected fault: tear the connection down mid-read. Outstanding
+        // tickets are cancelled by the disconnect path below; the client
+        // reconnects and resubmits.
+        ::shutdown(conn->fd, SHUT_RDWR);
+        break;
+      }
+      const ssize_t n = net::recv_retry(conn->fd, chunk, sizeof chunk);
       if (n <= 0) break;
       buffer.append(chunk, static_cast<std::size_t>(n));
       std::size_t start = 0;
@@ -834,8 +855,19 @@ class SocketServer {
         if (!line.empty()) handle_line(conn, line);
       }
       buffer.erase(0, start);
-      if (buffer.size() > (1u << 22))
-        break;  // 4 MiB without a newline: hostile input, hang up
+      if (buffer.size() > options_.max_line_bytes) {
+        // Unbounded-buffer guard: reject loudly, then hang up.
+        write_error(conn, "", "",
+                    "protocol error: line exceeds " +
+                        std::to_string(options_.max_line_bytes) +
+                        " bytes without a newline; closing connection");
+        if (options_.log)
+          std::fprintf(stderr,
+                       "femtod: closing connection: %zu buffered bytes "
+                       "without a newline (max_line_bytes %zu)\n",
+                       buffer.size(), options_.max_line_bytes);
+        break;
+      }
     }
     // Disconnect = the client walked away: cancel what it was waiting on.
     std::vector<std::shared_ptr<Ticket>> orphans;
@@ -854,8 +886,8 @@ class SocketServer {
     std::lock_guard<std::mutex> g(conn->write_mu);
     std::size_t off = 0;
     while (off < line.size()) {
-      const ssize_t n = ::send(conn->fd, line.data() + off,
-                               line.size() - off, MSG_NOSIGNAL);
+      const ssize_t n = net::send_retry(conn->fd, line.data() + off,
+                                        line.size() - off, MSG_NOSIGNAL);
       if (n <= 0) return;  // peer gone; the disconnect path cleans up
       off += static_cast<std::size_t>(n);
     }
@@ -914,6 +946,55 @@ class SocketServer {
                              service_.in_flight())));
       v.set("workers",
             json::Value::number(service_.pipeline().worker_count()));
+      v.set("degraded",
+            json::Value::boolean(service_.pipeline().db_degraded()));
+      write_line(conn, v.encode());
+    } else if (op == "failpoints") {
+      // Chaos-run control plane: {"op":"failpoints"} lists the registry;
+      // "arm" takes the FEMTO_FAILPOINTS grammar ("name:prob:seed,...");
+      // "disarm" takes a single name or "all". Malformed specs are a loud
+      // error and arm nothing.
+      if (const json::Value* arm = msg.find("arm"); arm != nullptr) {
+        if (!arm->is_string()) {
+          write_error(conn, "failpoints", "", "'arm' must be a string spec");
+          return;
+        }
+        if (const std::string aerr = fail::registry().arm(arm->as_string());
+            !aerr.empty()) {
+          write_error(conn, "failpoints", "", aerr);
+          return;
+        }
+      }
+      if (const json::Value* disarm = msg.find("disarm");
+          disarm != nullptr) {
+        if (!disarm->is_string()) {
+          write_error(conn, "failpoints", "",
+                      "'disarm' must be a failpoint name or \"all\"");
+          return;
+        }
+        if (disarm->as_string() == "all") {
+          fail::registry().disarm_all();
+        } else if (!fail::registry().disarm(disarm->as_string())) {
+          write_error(conn, "failpoints", "",
+                      "no armed failpoint named '" + disarm->as_string() +
+                          "'");
+          return;
+        }
+      }
+      json::Value v = json::Value::object();
+      v.set("ok", json::Value::boolean(true));
+      v.set("op", json::Value::string("failpoints"));
+      json::Value points = json::Value::object();
+      for (const fail::FailpointView& fp : fail::registry().snapshot()) {
+        json::Value e = json::Value::object();
+        e.set("armed", json::Value::boolean(fp.armed));
+        e.set("prob", json::Value::number(fp.prob));
+        e.set("seed", json::Value::number(fp.seed));
+        e.set("evaluations", json::Value::number(fp.evaluations));
+        e.set("fires", json::Value::number(fp.fires));
+        points.set(fp.name, std::move(e));
+      }
+      v.set("failpoints", std::move(points));
       write_line(conn, v.encode());
     } else if (op == "metrics") {
       const obs::MetricsSnapshot snap = obs::registry().snapshot();

@@ -36,6 +36,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/failpoint.hpp"
 #include "obs/metrics.hpp"
 #include "synth/pauli_exponential.hpp"
 
@@ -184,6 +185,11 @@ class SynthesisCache {
   [[nodiscard]] circuit::QuantumCircuit insert(std::string key,
                                                circuit::QuantumCircuit circuit,
                                                bool from_store) {
+    // Injected fault (chaos runs): drop the memo insert, as if the entry
+    // were evicted instantly. The caller still gets its circuit, and the
+    // cache memoizes a pure function, so results stay bit-identical -- a
+    // lossy cache only costs recomputation.
+    if (FEMTO_FAILPOINT("cache.insert")) return circuit;
     const std::lock_guard<std::mutex> lock(mutex_);
     const auto [it, inserted] =
         entries_.emplace(std::move(key), std::move(circuit));

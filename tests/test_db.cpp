@@ -16,7 +16,11 @@
 #include <thread>
 #include <vector>
 
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include "chem/integrals.hpp"
+#include "common/failpoint.hpp"
 #include "chem/mo_integrals.hpp"
 #include "chem/molecules.hpp"
 #include "chem/scf.hpp"
@@ -596,6 +600,83 @@ TEST(PipelineDatabase, MissingDatabaseFileDiesLoudly) {
   popt.database_path = temp_path("does_not_exist.fdb");
   EXPECT_DEATH(core::CompilePipeline{popt},
                "cannot open compilation database");
+}
+
+// ---- crash-safe writes (failpoint-driven) ---------------------------------
+// DatabaseBuilder::write goes through <path>.tmp.<pid> + fsync + atomic
+// rename, so NO failure mode of the write -- short write, failed fsync, or
+// the process dying mid-write -- may ever clobber the previous good file.
+
+TEST(CrashSafety, ShortWriteLeavesPreviousDatabaseIntact) {
+  const std::string path = build_small_db("crash_short.fdb");
+  const std::string before = read_file(path);
+  ASSERT_FALSE(before.empty());
+
+  db::DatabaseBuilder builder;
+  const std::vector<RotationBlock> seq = {pool()[3]};
+  builder.store(4, seq, MergePolicy::kMerge, EntanglerKind::kCnot,
+                synth::synthesize_sequence(4, seq));
+  ASSERT_EQ(fail::registry().arm("db.write.short:1:1"), "");
+  const std::string err = builder.write(path);
+  ASSERT_TRUE(fail::registry().disarm("db.write.short"));
+  EXPECT_NE(err.find("short write"), std::string::npos) << err;
+  EXPECT_NE(err.find("left intact"), std::string::npos) << err;
+  EXPECT_EQ(read_file(path), before) << "previous database was clobbered";
+  // The torn tmp must not linger.
+  EXPECT_TRUE(read_file(path + ".tmp." + std::to_string(::getpid())).empty());
+
+  // Disarmed, the same builder writes fine (over the old file, atomically).
+  EXPECT_EQ(builder.write(path), "");
+  std::string open_err;
+  EXPECT_TRUE(db::Database::open(path, &open_err).has_value()) << open_err;
+}
+
+TEST(CrashSafety, FsyncFailureLeavesPreviousDatabaseIntact) {
+  const std::string path = build_small_db("crash_fsync.fdb");
+  const std::string before = read_file(path);
+  db::DatabaseBuilder builder;
+  const std::vector<RotationBlock> seq = {pool()[2]};
+  builder.store(4, seq, MergePolicy::kMerge, EntanglerKind::kCnot,
+                synth::synthesize_sequence(4, seq));
+  ASSERT_EQ(fail::registry().arm("db.fsync:1:1"), "");
+  const std::string err = builder.write(path);
+  ASSERT_TRUE(fail::registry().disarm("db.fsync"));
+  EXPECT_FALSE(err.empty());
+  EXPECT_EQ(read_file(path), before);
+}
+
+TEST(CrashSafety, KillMidWriteLeavesPreviousDatabaseLoadable) {
+  const std::string path = build_small_db("crash_kill.fdb");
+  const std::string before = read_file(path);
+  std::string open_err;
+  const auto base = db::Database::open(path, &open_err);
+  ASSERT_TRUE(base.has_value()) << open_err;
+  const std::size_t entries_before = base->entry_count();
+
+  // The child arms db.write.kill and rewrites the live path: it dies with
+  // _Exit(137) mid-write, leaving only a torn tmp file behind.
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    ASSERT_EQ(fail::registry().arm("db.write.kill:1:1"), "");
+    db::DatabaseBuilder builder;
+    builder.merge_from(*base);
+    static_cast<void>(builder.write(path));
+    ::_exit(0);  // write survived: the failpoint did not fire -- fail below
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 137)
+      << "child should have died inside the armed write";
+
+  // The previous database is byte-identical and loads.
+  EXPECT_EQ(read_file(path), before);
+  const auto after = db::Database::open(path, &open_err);
+  ASSERT_TRUE(after.has_value()) << open_err;
+  EXPECT_EQ(after->entry_count(), entries_before);
+  // Clean up the torn tmp the "crash" left behind.
+  std::remove((path + ".tmp." + std::to_string(pid)).c_str());
 }
 
 }  // namespace

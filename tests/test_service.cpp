@@ -18,6 +18,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/failpoint.hpp"
+#include "obs/metrics.hpp"
 #include "service/client.hpp"
 #include "service/server.hpp"
 
@@ -581,6 +583,212 @@ TEST(ServiceSocket, LoopbackCompileMatchesInProcess) {
   EXPECT_EQ(done->as_u64().value_or(0), 1u);
 
   EXPECT_TRUE(client.shutdown());
+}
+
+// ---- hostile-input robustness ---------------------------------------------
+
+/// Truncation property: the canonical encoding consumes its full input, so
+/// EVERY strict prefix of a valid protocol line must fail json::parse with
+/// a non-empty diagnostic -- never crash, never yield a value a decoder
+/// could partially apply.
+TEST(ServiceProtocol, EveryStrictPrefixIsRejectedLoudly) {
+  core::CompileRequest request = tiny_request("prefix", 1);
+  service::json::Value envelope = service::json::Value::object();
+  envelope.set("op", service::json::Value::string("compile"));
+  envelope.set("id", service::json::Value::string("p1"));
+  envelope.set("request", service::protocol::encode_request(request));
+  core::CompilePipeline reference({.workers = 2});
+  const std::string messages[] = {
+      envelope.encode(),
+      canonical(reference.compile(request)),
+  };
+  for (const std::string& msg : messages) {
+    ASSERT_GT(msg.size(), 2u);
+    for (std::size_t len = 0; len < msg.size(); ++len) {
+      std::string err;
+      const auto parsed = service::json::parse(msg.substr(0, len), &err);
+      EXPECT_FALSE(parsed.has_value())
+          << "strict prefix of length " << len << " parsed";
+      EXPECT_FALSE(err.empty()) << "rejection must carry a diagnostic";
+    }
+  }
+}
+
+/// Bit-flip property: single-byte corruption anywhere in a valid message
+/// must never crash and never half-apply -- either the parse fails loudly,
+/// or the (valid-JSON-again) result decodes fully or is rejected with a
+/// non-empty diagnostic. Runs under ASan/UBSan in CI like the rest of the
+/// suite.
+TEST(ServiceProtocol, SingleByteCorruptionNeverCrashesOrPartiallyApplies) {
+  core::CompileRequest request = tiny_request("bitflip", 1);
+  service::json::Value req_envelope =
+      service::protocol::encode_request(request);
+  core::CompilePipeline reference({.workers = 2});
+  const core::CompileResponse response = reference.compile(request);
+  const service::json::Value resp_envelope = service::protocol::encode_response(
+      service::protocol::summarize(response, /*include_circuits=*/true));
+  const std::string req_line = req_envelope.encode();
+  const std::string resp_line = resp_envelope.encode();
+  for (int which = 0; which < 2; ++which) {
+    const std::string& line = which == 0 ? req_line : resp_line;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      for (int bit = 0; bit < 8; ++bit) {
+        std::string mutated = line;
+        mutated[i] = static_cast<char>(mutated[i] ^ (1 << bit));
+        if (mutated == line) continue;
+        std::string err;
+        const auto parsed = service::json::parse(mutated, &err);
+        if (!parsed.has_value()) {
+          EXPECT_FALSE(err.empty()) << "silent parse rejection at byte " << i;
+          continue;
+        }
+        // Still valid JSON: the typed decoder must now fully accept or
+        // loudly reject.
+        err.clear();
+        if (which == 0) {
+          core::CompileRequest out;
+          if (!service::protocol::decode_request(*parsed, out, err)) {
+            EXPECT_FALSE(err.empty()) << "silent decode rejection, byte " << i;
+          }
+        } else {
+          service::protocol::WireResponse out;
+          if (!service::protocol::decode_response(*parsed, out, err)) {
+            EXPECT_FALSE(err.empty()) << "silent decode rejection, byte " << i;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(ServiceSocket, OversizedLineIsRejectedLoudlyAndConnectionCloses) {
+  const std::string socket_path =
+      "/tmp/femtod-maxline-" + std::to_string(::getpid()) + ".sock";
+  service::SocketServer server({.socket_path = socket_path,
+                                .service = small_service(),
+                                .max_line_bytes = 4096});
+  ASSERT_EQ(server.start(), "");
+  std::thread runner([&] { server.run(); });
+  struct Joiner {
+    service::SocketServer& server;
+    std::thread& thread;
+    ~Joiner() {
+      server.request_shutdown(false);
+      if (thread.joinable()) thread.join();
+    }
+  } joiner{server, runner};
+
+  auto conn = service::wait_for_server(socket_path);
+  ASSERT_TRUE(conn.has_value());
+  // Stream >max_line_bytes of junk with no newline: the daemon must answer
+  // with a loud protocol error and hang up, not buffer forever.
+  const std::string junk(8192, 'x');
+  ASSERT_TRUE(conn->send_line(junk));  // send_line appends the newline LAST
+  const auto reply = conn->recv_line(5000);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_NE(reply->find("protocol error"), std::string::npos) << *reply;
+  EXPECT_NE(reply->find("closing connection"), std::string::npos);
+  EXPECT_FALSE(conn->recv_line(5000).has_value()) << "connection must close";
+
+  // A fresh connection still serves: the daemon survived the hostile peer.
+  auto healthy = service::wait_for_server(socket_path, 2000);
+  ASSERT_TRUE(healthy.has_value());
+  service::CompileClient client(std::move(*healthy));
+  EXPECT_TRUE(client.ping());
+}
+
+TEST(ServiceSocket, RetryingClientSurvivesInjectedConnectionDrops) {
+  const std::string socket_path =
+      "/tmp/femtod-retry-" + std::to_string(::getpid()) + ".sock";
+  service::SocketServer server(
+      {.socket_path = socket_path, .service = small_service()});
+  ASSERT_EQ(server.start(), "");
+  std::thread runner([&] { server.run(); });
+  struct Joiner {
+    service::SocketServer& server;
+    std::thread& thread;
+    ~Joiner() {
+      fail::registry().disarm_all();
+      server.request_shutdown(false);
+      if (thread.joinable()) thread.join();
+    }
+  } joiner{server, runner};
+
+  core::CompileRequest request = tiny_request("retry", 2);
+  core::CompilePipeline reference({.workers = 2});
+  const std::string expected = canonical(reference.compile(request));
+
+  // Arm service.recv THROUGH the wire op (end-to-end chaos control plane),
+  // then drive a retrying client until it lands a full result.
+  {
+    auto conn = service::wait_for_server(socket_path);
+    ASSERT_TRUE(conn.has_value());
+    service::CompileClient admin(std::move(*conn));
+    std::string err;
+    const auto listed = admin.failpoints("service.recv:0.25:7", "", err);
+    ASSERT_TRUE(listed.has_value()) << err;
+    const service::json::Value* points = listed->find("failpoints");
+    ASSERT_NE(points, nullptr);
+    ASSERT_NE(points->find("service.recv"), nullptr);
+  }
+
+  service::RetryPolicy policy;
+  policy.max_attempts = 50;
+  policy.base_delay_s = 0.001;
+  policy.max_delay_s = 0.02;
+  policy.seed = 11;
+  service::CompileClient client(socket_path, policy);
+  const std::uint64_t retries_before =
+      obs::registry().counter("service.retries").value();
+  std::string err;
+  const auto served =
+      client.compile_retry(request, "rt1", err, /*include_circuit=*/true);
+  ASSERT_TRUE(served.has_value()) << err;
+  EXPECT_EQ(served->state, RequestState::kDone);
+  EXPECT_EQ(served->canonical_response, expected)
+      << "retried serving must stay bit-identical";
+
+  // Disarm over the wire and confirm a clean second compile.
+  {
+    service::CompileClient admin(socket_path, service::RetryPolicy{});
+    ASSERT_EQ(admin.connect(), "");
+    std::string derr;
+    ASSERT_TRUE(admin.failpoints("", "all", derr).has_value()) << derr;
+  }
+  const auto clean = client.compile_retry(request, "rt2", err,
+                                          /*include_circuit=*/true);
+  ASSERT_TRUE(clean.has_value()) << err;
+  EXPECT_EQ(clean->canonical_response, expected);
+  // The armed phase almost certainly forced at least one retry; only
+  // require the counters to be monotone so the test cannot flake.
+  EXPECT_GE(obs::registry().counter("service.retries").value(),
+            retries_before);
+}
+
+TEST(ServiceSocket, MalformedFailpointSpecIsRejectedOverTheWire) {
+  const std::string socket_path =
+      "/tmp/femtod-fpbad-" + std::to_string(::getpid()) + ".sock";
+  service::SocketServer server(
+      {.socket_path = socket_path, .service = small_service()});
+  ASSERT_EQ(server.start(), "");
+  std::thread runner([&] { server.run(); });
+  struct Joiner {
+    service::SocketServer& server;
+    std::thread& thread;
+    ~Joiner() {
+      server.request_shutdown(false);
+      if (thread.joinable()) thread.join();
+    }
+  } joiner{server, runner};
+
+  auto conn = service::wait_for_server(socket_path);
+  ASSERT_TRUE(conn.has_value());
+  service::CompileClient client(std::move(*conn));
+  std::string err;
+  EXPECT_FALSE(client.failpoints("bogus:2.5", "", err).has_value());
+  EXPECT_NE(err.find("outside [0, 1]"), std::string::npos) << err;
+  EXPECT_FALSE(client.failpoints("", "never.armed.name", err).has_value());
+  EXPECT_NE(err.find("no armed failpoint"), std::string::npos) << err;
 }
 
 }  // namespace

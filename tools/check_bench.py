@@ -118,6 +118,14 @@ ABS_EXACT = {
         "*/db_warm_equals_inprocess": 1.0,
         "*/deadline_enforced": 1.0,
         "*/clean_shutdown": 1.0,
+        # The resilience contract (bench_service chaos section): the
+        # fault-injection framework's disabled path must stay allocation-
+        # free, injected short-write/fsync faults must never corrupt the
+        # published database, and a retrying client fleet driven through
+        # injected connection drops must land byte-identical responses.
+        "*/failpoint_disabled_zero_alloc": 1.0,
+        "*/chaos_db_survived": 1.0,
+        "*/chaos_responses_identical": 1.0,
     },
     # The tracing contract (bench_pipeline trace_overhead section): the
     # Chrome trace-event JSON exported by the traced compile must parse

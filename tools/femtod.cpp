@@ -8,6 +8,14 @@
 //
 //   femtod --socket <path> [--workers N] [--max-queue N] [--db <path.fdb>]
 //          [--default-deadline S] [--trace-dir <dir>] [--log]
+//          [--degrade-on-db-error]
+//
+// --degrade-on-db-error turns a missing/corrupt --db file from a boot
+// failure (exit 2) into DEGRADED serving: a loud stderr line, the
+// service.degraded gauge raised, and every compile served from pure
+// in-process synthesis -- bit-identical to a daemon that never had a
+// database (the DB only memoizes a pure function). The `stats` op reports
+// "degraded": true so fleets can alert on it.
 //
 // --trace-dir enables per-request tracing: every completed work writes a
 // Chrome trace-event JSON (loadable in Perfetto / chrome://tracing) to
@@ -31,6 +39,7 @@
 
 #include <sys/stat.h>
 
+#include "common/failpoint.hpp"
 #include "db/database.hpp"
 #include "service/server.hpp"
 
@@ -44,7 +53,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: femtod --socket <path> [--workers N] [--max-queue N] "
                "[--db <path.fdb>] [--default-deadline S] "
-               "[--trace-dir <dir>] [--log]\n");
+               "[--trace-dir <dir>] [--log] [--degrade-on-db-error]\n");
   return 2;
 }
 
@@ -88,6 +97,8 @@ int main(int argc, char** argv) {
       service_options.trace_dir = v;
     } else if (arg == "--log") {
       log = true;
+    } else if (arg == "--degrade-on-db-error") {
+      service_options.pipeline.degrade_on_db_error = true;
     } else {
       return usage();
     }
@@ -112,13 +123,20 @@ int main(int argc, char** argv) {
   if (!db_path.empty()) {
     // Validate up front for a clean exit code; the pipeline re-opens it
     // (and would abort on failure, which a daemon should never do on argv).
+    // With --degrade-on-db-error the pipeline ctor handles the failure
+    // itself (loud log + degraded serving), so boot proceeds.
     std::string err;
-    if (!db::Database::open(db_path, &err).has_value()) {
+    if (!db::Database::open(db_path, &err).has_value() &&
+        !service_options.pipeline.degrade_on_db_error) {
       std::fprintf(stderr, "femtod: %s\n", err.c_str());
       return 2;
     }
     service_options.pipeline.database_path = db_path;
   }
+
+  // Force FEMTO_FAILPOINTS parsing now: a malformed spec must kill the
+  // boot, not the first armed evaluation mid-serve.
+  static_cast<void>(fail::registry());
 
   std::signal(SIGTERM, on_signal);
   std::signal(SIGINT, on_signal);
@@ -135,7 +153,10 @@ int main(int argc, char** argv) {
               socket_path.c_str(),
               server.service().pipeline().worker_count(),
               service_options.max_queue,
-              db_path.empty() ? "" : ", db attached");
+              db_path.empty() ? ""
+              : server.service().pipeline().db_degraded()
+                  ? ", db DEGRADED"
+                  : ", db attached");
   std::fflush(stdout);
 
   server.run([] { return g_stop != 0; });
